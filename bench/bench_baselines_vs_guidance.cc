@@ -1,0 +1,80 @@
+// Automated truth finding vs guided validation. The paper's framing (§9):
+// fully automated methods are the starting point — "our guidance strategies
+// complement the literature on classifying claims" — and user input is what
+// lifts precision beyond their ceiling. This bench quantifies that: the
+// precision of five classic automated truth finders at zero user effort,
+// against the guided validation curve at 10/20/30% effort.
+
+#include "bench/bench_common.h"
+#include "core/user_model.h"
+#include "truthfinder/baselines.h"
+
+namespace veritas {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const auto corpora = BenchCorpora(args);
+
+  bool guidance_exceeds = true;
+  for (const EmulatedCorpus& corpus : corpora) {
+    std::cout << "Automated baselines vs guided validation (" << corpus.name
+              << ")\n";
+    TextTable table;
+    table.SetHeader({"method", "user effort", "precision"});
+
+    double best_automated = 0.0;
+    struct Named {
+      const char* name;
+      Result<TruthFindingResult> run;
+    };
+    std::vector<Named> runs;
+    runs.push_back({"majority-vote", RunMajorityVote(corpus.db)});
+    runs.push_back({"sums", RunSums(corpus.db)});
+    runs.push_back({"average-log", RunAverageLog(corpus.db)});
+    runs.push_back({"investment", RunInvestment(corpus.db)});
+    runs.push_back({"truthfinder", RunTruthFinder(corpus.db)});
+    for (const auto& [name, run] : runs) {
+      if (!run.ok()) {
+        std::cerr << name << " failed: " << run.status() << "\n";
+        return 1;
+      }
+      const double precision = TruthFindingPrecision(run.value(), corpus.db);
+      best_automated = std::max(best_automated, precision);
+      table.AddRow({name, "0%", FormatDouble(precision, 3)});
+    }
+
+    OracleUser user;
+    ValidationOptions options =
+        BenchValidationOptions(StrategyKind::kHybrid, args.seed);
+    options.budget = corpus.db.num_claims();
+    ValidationProcess process(&corpus.db, &user, options);
+    auto outcome = process.Run();
+    if (!outcome.ok()) {
+      std::cerr << "guided run failed: " << outcome.status() << "\n";
+      return 1;
+    }
+    double guided_at_30 = 0.0;
+    for (const double effort : {0.1, 0.2, 0.3}) {
+      const double precision = PrecisionAtEffort(
+          outcome.value().trace, effort, outcome.value().initial_precision);
+      if (effort == 0.3) guided_at_30 = precision;
+      table.AddRow({"guided (hybrid)", FormatPercent(effort, 0),
+                    FormatDouble(precision, 3)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+    if (guided_at_30 + 0.05 < best_automated) guidance_exceeds = false;
+  }
+  PrintShapeCheck(guidance_exceeds,
+                  "30% guided effort reaches at least the best automated "
+                  "truth finder's precision (user input lifts the ceiling)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::bench::Main(argc, argv); }

@@ -1,0 +1,65 @@
+// Reproduces Fig. 3: response time over the course of validation (snopes),
+// binned by label effort. The paper observes a peak in the middle of the
+// run, where user input enables the most inference work.
+
+#include "bench/bench_common.h"
+#include "core/user_model.h"
+
+namespace veritas {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const EmulatedCorpus corpus = BenchCorpora(args).back();  // snopes
+
+  OracleUser user;
+  ValidationOptions options =
+      BenchValidationOptions(StrategyKind::kHybrid, args.seed);
+  options.budget = corpus.db.num_claims();
+  ValidationProcess process(&corpus.db, &user, options);
+  auto outcome = process.Run();
+  if (!outcome.ok()) {
+    std::cerr << "run failed: " << outcome.status() << "\n";
+    return 1;
+  }
+
+  // Average Delta-t within effort deciles.
+  const size_t bins = 5;
+  std::vector<double> seconds(bins, 0.0);
+  std::vector<size_t> counts(bins, 0);
+  for (const IterationRecord& record : outcome.value().trace) {
+    size_t bin = static_cast<size_t>(record.effort * bins);
+    if (bin >= bins) bin = bins - 1;
+    seconds[bin] += record.seconds;
+    ++counts[bin];
+  }
+
+  std::cout << "Fig. 3 - Response time vs label effort (" << corpus.name
+            << ")\n";
+  TextTable table;
+  table.SetHeader({"effort bin", "avg dt (s)", "iterations"});
+  for (size_t b = 0; b < bins; ++b) {
+    const double avg =
+        counts[b] == 0 ? 0.0 : seconds[b] / static_cast<double>(counts[b]);
+    table.AddRow({FormatPercent(static_cast<double>(b) / bins, 0) + "-" +
+                      FormatPercent(static_cast<double>(b + 1) / bins, 0),
+                  FormatDouble(avg, 4), std::to_string(counts[b])});
+  }
+  table.Print(std::cout);
+
+  // Shape: the middle of the run is at least as expensive as the tail
+  // (inference work decays once most claims are pinned by labels).
+  double mid = counts[2] ? seconds[2] / counts[2] : 0.0;
+  double tail = counts[bins - 1] ? seconds[bins - 1] / counts[bins - 1] : 0.0;
+  PrintShapeCheck(mid >= tail * 0.8,
+                  "response time peaks in the middle of the run and falls "
+                  "towards the end (paper: peak at 40-60% effort)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::bench::Main(argc, argv); }

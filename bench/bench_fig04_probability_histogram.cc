@@ -1,0 +1,88 @@
+// Reproduces Fig. 4: histogram of the probabilities assigned to the CORRECT
+// credibility value of each claim (Pr(c=1) for true claims, Pr(c=0) for
+// false ones), pooled over all datasets, at 0%, 20% and 40% label effort.
+// The paper's shape: mass shifts from low to high probability bins as user
+// effort increases.
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "core/user_model.h"
+
+namespace veritas {
+namespace bench {
+namespace {
+
+/// Collects the correct-value probabilities of all unlabeled claims at a
+/// given effort level.
+void CollectAtEffort(const EmulatedCorpus& corpus, double effort, uint64_t seed,
+                     std::vector<double>* out) {
+  OracleUser user;
+  ValidationOptions options =
+      BenchValidationOptions(StrategyKind::kHybrid, seed);
+  options.budget =
+      static_cast<size_t>(effort * static_cast<double>(corpus.db.num_claims()));
+  ValidationProcess process(&corpus.db, &user, options);
+  auto outcome = process.Run();
+  if (!outcome.ok()) {
+    std::cerr << "run failed: " << outcome.status() << "\n";
+    std::exit(1);
+  }
+  const BeliefState& state = outcome.value().state;
+  for (size_t c = 0; c < corpus.db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (state.IsLabeled(id) || !corpus.db.has_ground_truth(id)) continue;
+    const double p = state.prob(id);
+    out->push_back(corpus.db.ground_truth(id) ? p : 1.0 - p);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const auto corpora = BenchCorpora(args);
+  const std::vector<double> efforts{0.0, 0.2, 0.4};
+  const size_t bins = 10;
+
+  std::cout << "Fig. 4 - Frequency (%) of correct-value probabilities\n";
+  TextTable table;
+  std::vector<std::string> header{"bin"};
+  for (const double effort : efforts) {
+    header.push_back(FormatPercent(effort, 0) + " effort");
+  }
+  table.SetHeader(header);
+
+  std::vector<Histogram> histograms;
+  std::vector<double> mean_by_effort;
+  for (const double effort : efforts) {
+    std::vector<double> values;
+    for (const EmulatedCorpus& corpus : corpora) {
+      CollectAtEffort(corpus, effort, args.seed, &values);
+    }
+    Histogram histogram(0.0, 1.0, bins);
+    histogram.AddAll(values);
+    histograms.push_back(histogram);
+    mean_by_effort.push_back(Mean(values));
+  }
+  for (size_t b = 0; b < bins; ++b) {
+    std::vector<std::string> row{FormatDouble(histograms[0].BinLow(b), 1) + "-" +
+                                 FormatDouble(histograms[0].BinHigh(b), 1)};
+    for (const Histogram& histogram : histograms) {
+      row.push_back(FormatPercent(histogram.Normalized()[b], 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  for (size_t i = 0; i < efforts.size(); ++i) {
+    std::cout << "mean correct-value probability @" << FormatPercent(efforts[i], 0)
+              << " = " << FormatDouble(mean_by_effort[i], 3) << "\n";
+  }
+  PrintShapeCheck(
+      mean_by_effort.back() > mean_by_effort.front(),
+      "probability mass of correct values shifts to higher bins with effort");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::bench::Main(argc, argv); }

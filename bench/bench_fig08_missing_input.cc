@@ -1,0 +1,84 @@
+// Reproduces Fig. 8: the effect of missing user input. A user skips the
+// selected claim with probability pm (the runner-up is validated instead).
+// Reported is the saved effort (%): the relative difference in user effort
+// between the normal process and the skipping process when reaching a given
+// precision target. Skipping hurts most when aiming at lower precision
+// targets early in the run.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/user_model.h"
+
+namespace veritas {
+namespace bench {
+namespace {
+
+double EffortForTarget(const EmulatedCorpus& corpus, double skip_rate,
+                       double target, uint64_t seed, size_t runs) {
+  double total = 0.0;
+  for (size_t run = 0; run < runs; ++run) {
+    SkippingUser user(skip_rate, (seed + 7919 * run) * 13 + 5);
+    ValidationOptions options =
+        BenchValidationOptions(StrategyKind::kHybrid, seed + 7919 * run);
+    options.target_precision = target;
+    options.budget = corpus.db.num_claims();
+    ValidationProcess process(&corpus.db, &user, options);
+    auto outcome = process.Run();
+    if (!outcome.ok()) {
+      std::cerr << "run failed: " << outcome.status() << "\n";
+      std::exit(1);
+    }
+    total += outcome.value().state.Effort();
+  }
+  return total / static_cast<double>(runs);
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const auto corpora = BenchCorpora(args);
+  const std::vector<double> skip_rates{0.1, 0.25, 0.5};
+  const std::vector<double> targets{0.7, 0.8, 0.9};
+  const size_t runs = std::max<size_t>(3, args.runs);
+
+  bool effect_bounded = true;
+  for (const EmulatedCorpus& corpus : corpora) {
+    std::cout << "Fig. 8 - Saved efforts (%) under skipping (" << corpus.name
+              << ", " << runs << "-run average)\n";
+    TextTable table;
+    std::vector<std::string> header{"pm"};
+    for (const double target : targets) {
+      header.push_back("prec=" + FormatDouble(target, 1));
+    }
+    table.SetHeader(header);
+
+    for (const double pm : skip_rates) {
+      std::vector<std::string> row{FormatDouble(pm, 2)};
+      for (const double target : targets) {
+        const double normal =
+            EffortForTarget(corpus, 0.0, target, args.seed, runs);
+        const double skipping =
+            EffortForTarget(corpus, pm, target, args.seed, runs);
+        // Relative difference in user effort (the paper's "saved efforts"):
+        // how much of the effort advantage survives the skipping noise.
+        const double diff = std::fabs(skipping - normal) /
+                            std::max({1e-9, skipping, normal});
+        row.push_back(FormatPercent(diff, 1));
+        if (diff > 0.75) effect_bounded = false;
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  PrintShapeCheck(effect_bounded,
+                  "skipping shifts effort by a bounded amount (paper: <= ~30% "
+                  "relative difference, shrinking at higher precision)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::bench::Main(argc, argv); }

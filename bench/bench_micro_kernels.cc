@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks of the inference kernels: Gibbs sweeps,
+// TRON M-steps, entropy computation and PageRank. These quantify the
+// linear-time claims of Props. 1-3 at the kernel level.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crf/entropy.h"
+#include "crf/gibbs.h"
+#include "crf/model.h"
+#include "data/emulator.h"
+#include "graph/centrality.h"
+#include "graph/generator.h"
+#include "optim/logistic.h"
+#include "optim/tron.h"
+
+namespace veritas {
+namespace {
+
+EmulatedCorpus MakeCorpus(size_t claims) {
+  CorpusSpec spec;
+  spec.name = "bench";
+  spec.num_sources = claims * 2;
+  spec.num_documents = claims * 5;
+  spec.num_claims = claims;
+  Rng rng(7);
+  auto corpus = GenerateCorpus(spec, &rng);
+  if (!corpus.ok()) std::abort();
+  return std::move(corpus).value();
+}
+
+void BM_GibbsSweep(benchmark::State& state) {
+  const EmulatedCorpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  CrfModel model = CrfModel::ForDatabase(corpus.db);
+  CrfConfig config;
+  const auto couplings = BuildSourceCouplings(corpus.db, config);
+  std::vector<double> prev(corpus.db.num_claims(), 0.5);
+  const ClaimMrf mrf = BuildClaimMrf(corpus.db, model, prev, config, couplings);
+  BeliefState belief(corpus.db.num_claims());
+  Rng rng(11);
+  GibbsOptions options;
+  options.burn_in = 0;
+  options.num_samples = 10;
+  for (auto _ : state) {
+    auto samples = RunGibbs(mrf, belief, nullptr, nullptr, options, &rng);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 10);
+}
+BENCHMARK(BM_GibbsSweep)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_TronMStep(benchmark::State& state) {
+  const EmulatedCorpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  CrfModel model = CrfModel::ForDatabase(corpus.db);
+  BeliefState belief(corpus.db.num_claims());
+  std::vector<double> targets(corpus.db.num_claims());
+  Rng rng(13);
+  for (auto& t : targets) t = rng.Uniform();
+  CrfConfig config;
+  for (auto _ : state) {
+    CrfModel fresh = model;
+    auto report = FitCrfWeights(corpus.db, targets, belief, config, {}, &fresh);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.db.num_cliques()));
+}
+BENCHMARK(BM_TronMStep)->Arg(50)->Arg(200);
+
+void BM_ApproxEntropy(benchmark::State& state) {
+  std::vector<double> probs(static_cast<size_t>(state.range(0)));
+  Rng rng(17);
+  for (auto& p : probs) p = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxDatabaseEntropy(probs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ApproxEntropy)->Arg(1000)->Arg(100000);
+
+void BM_PageRank(benchmark::State& state) {
+  Rng rng(19);
+  WebGraphOptions options;
+  options.num_nodes = static_cast<size_t>(state.range(0));
+  auto graph = GenerateWebGraph(options, &rng);
+  if (!graph.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(graph.value()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);
+
+void BM_LogisticGradient(benchmark::State& state) {
+  Rng rng(23);
+  const size_t dim = 12;
+  LogisticObjective objective(dim, 1.0);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    std::vector<double> x(dim);
+    for (auto& v : x) v = rng.Uniform();
+    objective.AddExample(x, rng.Uniform());
+  }
+  std::vector<double> w(dim, 0.1);
+  std::vector<double> g;
+  for (auto _ : state) {
+    objective.Gradient(w, &g);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LogisticGradient)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace veritas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#ifndef VERITAS_COMMON_LOGGING_H_
+#define VERITAS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace veritas {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default kWarning so that
+/// tests and benches stay quiet unless asked otherwise).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line writer; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace veritas
+
+#define VERITAS_LOG(level)                                                  \
+  ::veritas::internal::LogMessage(::veritas::LogLevel::k##level, __FILE__, \
+                                  __LINE__)                                  \
+      .stream()
+
+#endif  // VERITAS_COMMON_LOGGING_H_

@@ -1,0 +1,65 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace veritas {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+double LogAddExp(double a, double b) {
+  if (a < b) std::swap(a, b);
+  if (!std::isfinite(a)) return a;
+  return a + std::log1p(std::exp(b - a));
+}
+
+double ClampProb(double p) {
+  return std::min(1.0 - kProbEpsilon, std::max(kProbEpsilon, p));
+}
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  const size_t n = std::min(x.size(), y->size());
+  for (size_t i = 0; i < n; ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* v) {
+  for (double& x : *v) x *= alpha;
+}
+
+double RelativeDifference(double a, double b) {
+  const double denom = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace veritas

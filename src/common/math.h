@@ -1,0 +1,45 @@
+#ifndef VERITAS_COMMON_MATH_H_
+#define VERITAS_COMMON_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace veritas {
+
+/// Probability floor used throughout the library to keep logs finite.
+inline constexpr double kProbEpsilon = 1e-12;
+
+/// Logistic sigmoid, numerically stable on both tails.
+double Sigmoid(double x);
+
+/// log(sum_i exp(x_i)) computed stably; -inf for an empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Stable log(exp(a) + exp(b)).
+double LogAddExp(double a, double b);
+
+/// Clamps a probability to [kProbEpsilon, 1 - kProbEpsilon].
+double ClampProb(double p);
+
+/// Natural-log entropy of a Bernoulli(p) variable: -p ln p - (1-p) ln(1-p).
+/// Zero at the endpoints, maximal (ln 2) at p = 0.5.
+double BinaryEntropy(double p);
+
+/// Dot product of equally sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// y += alpha * x (vectors must have equal size).
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// Scales a vector in place.
+void Scale(double alpha, std::vector<double>* v);
+
+/// Relative difference |a-b| / max(1, |a|, |b|), used for convergence checks.
+double RelativeDifference(double a, double b);
+
+}  // namespace veritas
+
+#endif  // VERITAS_COMMON_MATH_H_

@@ -1,0 +1,169 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace veritas {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lower = static_cast<size_t>(pos);
+  const size_t upper = std::min(lower + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lower);
+  return xs[lower] * (1.0 - frac) + xs[upper] * frac;
+}
+
+double Median(const std::vector<double>& xs) { return Quantile(xs, 0.5); }
+
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("Pearson: size mismatch");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("Pearson: need at least two points");
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return Status::FailedPrecondition("Pearson: zero variance input");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> KendallTauB(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("KendallTauB: size mismatch");
+  }
+  const size_t n = xs.size();
+  if (n < 2) {
+    return Status::InvalidArgument("KendallTauB: need at least two points");
+  }
+  // O(n^2) pair scan; validation sequences in the experiments are small
+  // enough (thousands) that this dominates nothing.
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const long long total = static_cast<long long>(n) * (n - 1) / 2;
+  const double denom_x = static_cast<double>(total - ties_x);
+  const double denom_y = static_cast<double>(total - ties_y);
+  if (denom_x <= 0.0 || denom_y <= 0.0) {
+    return Status::FailedPrecondition("KendallTauB: all pairs tied");
+  }
+  return static_cast<double>(concordant - discordant) / std::sqrt(denom_x * denom_y);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::Add(double value) {
+  const double span = hi_ - lo_;
+  size_t bin = 0;
+  if (span > 0.0) {
+    const double rel = (value - lo_) / span;
+    const double scaled = rel * static_cast<double>(counts_.size());
+    if (scaled <= 0.0) {
+      bin = 0;
+    } else if (scaled >= static_cast<double>(counts_.size())) {
+      bin = counts_.size() - 1;
+    } else {
+      bin = static_cast<size_t>(scaled);
+    }
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double Histogram::BinLow(size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::BinHigh(size_t bin) const { return BinLow(bin + 1); }
+
+BoxStats ComputeBoxStats(const std::vector<double>& xs) {
+  BoxStats box;
+  if (xs.empty()) return box;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  box.min = sorted.front();
+  box.max = sorted.back();
+  box.q1 = Quantile(sorted, 0.25);
+  box.median = Quantile(sorted, 0.5);
+  box.q3 = Quantile(sorted, 0.75);
+  return box;
+}
+
+Result<std::vector<std::vector<size_t>>> KFoldSplit(size_t n, size_t k) {
+  if (k == 0) return Status::InvalidArgument("KFoldSplit: k must be positive");
+  if (k > n) return Status::InvalidArgument("KFoldSplit: k exceeds population");
+  std::vector<std::vector<size_t>> folds(k);
+  const size_t base = n / k;
+  const size_t extra = n % k;
+  size_t next = 0;
+  for (size_t f = 0; f < k; ++f) {
+    const size_t size = base + (f < extra ? 1 : 0);
+    folds[f].reserve(size);
+    for (size_t i = 0; i < size; ++i) folds[f].push_back(next++);
+  }
+  return folds;
+}
+
+}  // namespace veritas

@@ -1,0 +1,83 @@
+#ifndef VERITAS_COMMON_STATS_H_
+#define VERITAS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veritas {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 for inputs with fewer than two elements.
+double Variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile for q in [0, 1]; input need not be sorted.
+double Quantile(std::vector<double> xs, double q);
+
+/// Median (0.5 quantile).
+double Median(const std::vector<double>& xs);
+
+/// Pearson product-moment correlation of paired samples.
+/// Errors on size mismatch, fewer than two points, or zero variance.
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// Kendall's tau-b rank correlation (tie-corrected), as used in Table 2 of
+/// the paper to compare offline and streaming validation orders.
+/// Errors on size mismatch or fewer than two points.
+Result<double> KendallTauB(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the terminal buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t bin_count() const { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_[bin]; }
+  size_t total() const { return total_; }
+
+  /// Fraction of mass in each bin (empty histogram yields all zeros).
+  std::vector<double> Normalized() const;
+
+  /// Inclusive lower edge of a bin.
+  double BinLow(size_t bin) const;
+  double BinHigh(size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Five-number summary for box plots (Fig. 11).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a five-number summary; all-zero for an empty input.
+BoxStats ComputeBoxStats(const std::vector<double>& xs);
+
+/// Splits indices [0, n) into k near-equal folds for cross validation
+/// (precision-improvement-rate termination criterion, §6.1).
+/// Fold sizes differ by at most one. Errors when k == 0 or k > n.
+Result<std::vector<std::vector<size_t>>> KFoldSplit(size_t n, size_t k);
+
+}  // namespace veritas
+
+#endif  // VERITAS_COMMON_STATS_H_

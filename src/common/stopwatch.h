@@ -1,0 +1,31 @@
+#ifndef VERITAS_COMMON_STOPWATCH_H_
+#define VERITAS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace veritas {
+
+/// Monotonic wall-clock timer for measuring per-iteration response times.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_COMMON_STOPWATCH_H_

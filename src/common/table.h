@@ -1,0 +1,45 @@
+#ifndef VERITAS_COMMON_TABLE_H_
+#define VERITAS_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace veritas {
+
+/// Aligned console table used by the benchmark harness to print the rows of
+/// the paper's tables and the series of its figures.
+class TextTable {
+ public:
+  /// Sets the header row; resets any accumulated rows' column count checks.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row of preformatted cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a row where numeric cells are formatted with `precision` digits.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 4);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by bench binaries).
+std::string FormatDouble(double value, int precision = 4);
+
+/// Formats a fraction as a percentage string, e.g. 0.314 -> "31.4%".
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace veritas
+
+#endif  // VERITAS_COMMON_TABLE_H_

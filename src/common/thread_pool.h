@@ -1,0 +1,52 @@
+#ifndef VERITAS_COMMON_THREAD_POOL_H_
+#define VERITAS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace veritas {
+
+/// Fixed-size worker pool used to parallelize per-claim information-gain
+/// evaluation (§5.1 "Parallelisation"). Tasks are void thunks; results are
+/// communicated through captured state. Wait() blocks until the queue drains.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 falls back to hardware concurrency).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after destruction began.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Falls back to a serial loop when the pool has a single worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_COMMON_THREAD_POOL_H_

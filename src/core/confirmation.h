@@ -1,0 +1,38 @@
+#ifndef VERITAS_CORE_CONFIRMATION_H_
+#define VERITAS_CORE_CONFIRMATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/icrf.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Options of the lightweight confirmation check (§5.2).
+struct ConfirmationOptions {
+  size_t neighborhood_radius = 2;
+  size_t neighborhood_cap = 128;
+  /// A label is flagged only when the re-inferred probability contradicts it
+  /// by at least this margin beyond 0.5. The margin filters the Monte-Carlo
+  /// noise of the sampled grounding: a mistaken label contradicts evidence
+  /// and neighbors decisively, a correct one hovers near its label.
+  double margin = 0.15;
+  /// Independent re-inference repetitions averaged before thresholding.
+  size_t repetitions = 2;
+};
+
+/// Leave-one-out confirmation check (§5.2): for every validated claim c,
+/// re-infers its credibility from all other information (label of c removed,
+/// weights frozen) and flags c when the re-inferred grounding disagrees with
+/// the user's input — the signature of an accidental mis-validation.
+/// Returns the flagged claim ids.
+Result<std::vector<ClaimId>> FindSuspiciousLabels(const ICrf& icrf,
+                                                  const BeliefState& state,
+                                                  const ConfirmationOptions& options,
+                                                  Rng* rng);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_CONFIRMATION_H_

@@ -1,0 +1,87 @@
+#include "core/grounding.h"
+
+#include <algorithm>
+
+namespace veritas {
+
+Grounding GroundingFromSamples(const SampleSet& samples, const BeliefState& state) {
+  Grounding grounding = samples.ModeConfiguration();
+  if (grounding.size() < state.num_claims()) {
+    grounding.resize(state.num_claims(), 0);
+  }
+  for (size_t c = 0; c < state.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (state.IsLabeled(id)) {
+      grounding[c] = state.label(id) == ClaimLabel::kCredible ? 1 : 0;
+    }
+  }
+  return grounding;
+}
+
+Grounding GroundingFromProbs(const std::vector<double>& probs) {
+  Grounding grounding(probs.size(), 0);
+  for (size_t c = 0; c < probs.size(); ++c) grounding[c] = probs[c] >= 0.5 ? 1 : 0;
+  return grounding;
+}
+
+size_t GroundingChanges(const Grounding& a, const Grounding& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t changes = std::max(a.size(), b.size()) - n;
+  for (size_t c = 0; c < n; ++c) {
+    if ((a[c] != 0) != (b[c] != 0)) ++changes;
+  }
+  return changes;
+}
+
+double GroundingPrecision(const Grounding& grounding, const FactDatabase& db) {
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t c = 0; c < db.num_claims() && c < grounding.size(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (!db.has_ground_truth(id)) continue;
+    ++total;
+    if ((grounding[c] != 0) == db.ground_truth(id)) ++correct;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double PrecisionImprovement(double precision, double initial_precision) {
+  if (initial_precision >= 1.0) return 1.0;
+  const double improvement =
+      (precision - initial_precision) / (1.0 - initial_precision);
+  return std::clamp(improvement, 0.0, 1.0);
+}
+
+std::vector<double> SourceTrustworthiness(const FactDatabase& db,
+                                          const Grounding& grounding) {
+  // Stance-aware variant of Eq. 17: a clique agrees with the grounding when
+  // its stance matches the grounded value (support & credible, or refute &
+  // non-credible). A source refuting debunked claims is thus trustworthy;
+  // see DESIGN.md for why this refines the paper's literal formula.
+  std::vector<double> agree(db.num_sources(), 0.0);
+  std::vector<double> total(db.num_sources(), 0.0);
+  for (const Clique& clique : db.cliques()) {
+    if (clique.claim >= grounding.size()) continue;
+    const bool credible = grounding[clique.claim] != 0;
+    const bool supports = clique.stance == Stance::kSupport;
+    agree[clique.source] += (supports == credible) ? 1.0 : 0.0;
+    total[clique.source] += 1.0;
+  }
+  std::vector<double> trust(db.num_sources(), 0.5);
+  for (size_t s = 0; s < db.num_sources(); ++s) {
+    if (total[s] > 0.0) trust[s] = agree[s] / total[s];
+  }
+  return trust;
+}
+
+double UnreliableSourceRatio(const std::vector<double>& source_trust) {
+  if (source_trust.empty()) return 0.0;
+  size_t unreliable = 0;
+  for (double trust : source_trust) {
+    if (trust < 0.5) ++unreliable;
+  }
+  return static_cast<double>(unreliable) / static_cast<double>(source_trust.size());
+}
+
+}  // namespace veritas

@@ -1,0 +1,48 @@
+#ifndef VERITAS_CORE_GROUNDING_H_
+#define VERITAS_CORE_GROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crf/gibbs.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// A grounding g: C -> {0, 1} (§2.1): 1 marks a claim as credible.
+using Grounding = std::vector<uint8_t>;
+
+/// Instantiates a grounding from the most recent Gibbs samples (Eq. 10):
+/// labelled claims keep their label; the rest take the value of the most
+/// frequent sampled configuration.
+Grounding GroundingFromSamples(const SampleSet& samples, const BeliefState& state);
+
+/// Baseline grounding: threshold each claim's probability at 0.5.
+Grounding GroundingFromProbs(const std::vector<double>& probs);
+
+/// Number of claims whose value differs between two groundings (the
+/// "amount of changes" termination indicator, §6.1).
+size_t GroundingChanges(const Grounding& a, const Grounding& b);
+
+/// Precision of a grounding against the database's ground truth (§8.1):
+/// the fraction of claims whose grounded value matches the truth, over the
+/// claims that have ground truth. Returns 0 when no ground truth exists.
+double GroundingPrecision(const Grounding& grounding, const FactDatabase& db);
+
+/// Relative precision improvement R_i = (P_i - P_0) / (1 - P_0) (§8.1);
+/// clamps to [0, 1] and returns 1 when P_0 == 1.
+double PrecisionImprovement(double precision, double initial_precision);
+
+/// Source trustworthiness Pr(s) under a grounding (Eq. 17): the fraction of
+/// the source's claims that the grounding marks credible, adjusted for the
+/// source's stance — a source refuting a non-credible claim counts as
+/// agreeing. Sources with no claims default to 0.5.
+std::vector<double> SourceTrustworthiness(const FactDatabase& db,
+                                          const Grounding& grounding);
+
+/// Ratio of unreliable sources r_i (Alg. 1 line 17): Pr(s) < 0.5.
+double UnreliableSourceRatio(const std::vector<double>& source_trust);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_GROUNDING_H_

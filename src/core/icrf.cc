@@ -1,0 +1,166 @@
+#include "core/icrf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace veritas {
+
+ICrf::ICrf(const FactDatabase* db, const ICrfOptions& options, uint64_t seed)
+    : db_(db), options_(options), rng_(seed), model_(CrfModel::ForDatabase(*db)) {}
+
+Status ICrf::SyncStructures() {
+  if (db_ == nullptr) return Status::InvalidArgument("ICrf: null database");
+  couplings_ = BuildSourceCouplings(*db_, options_.crf);
+  partition_ = PartitionClaims(*db_);
+
+  claim_sources_.assign(db_->num_claims(), {});
+  source_cliques_.assign(db_->num_sources(), {});
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(db_->num_cliques());
+  const uint64_t n = db_->num_claims();
+  for (size_t i = 0; i < db_->num_cliques(); ++i) {
+    const Clique& clique = db_->clique(i);
+    source_cliques_[clique.source].push_back(i);
+    if (seen.insert(static_cast<uint64_t>(clique.source) * n + clique.claim).second) {
+      claim_sources_[clique.claim].push_back(clique.source);
+    }
+  }
+
+  // Preserve the learned weights if the feature dimensionality is unchanged.
+  const size_t want_dim = 1 + db_->document_feature_dim() + db_->source_feature_dim();
+  if (model_.feature_dim() != want_dim) model_ = CrfModel(want_dim);
+  structures_built_ = true;
+  return Status::OK();
+}
+
+Result<InferenceStats> ICrf::Infer(BeliefState* state) {
+  if (state == nullptr) return Status::InvalidArgument("ICrf::Infer: null state");
+  if (state->num_claims() != db_->num_claims()) {
+    return Status::InvalidArgument("ICrf::Infer: state size mismatch");
+  }
+  if (!structures_built_) {
+    VERITAS_RETURN_IF_ERROR(SyncStructures());
+  }
+
+  InferenceStats stats;
+  std::vector<double> prev_probs = state->probs();
+  // The chain is re-initialized from the field distribution at every Infer()
+  // call (warm starts apply only across the EM iterations within one call).
+  // Carrying spins across calls locks the sampler into the basin of the
+  // previous labels; the incrementality of iCRF lives in the reused weights
+  // and carried-over probabilities instead.
+  const SpinConfig* warm = nullptr;
+
+  for (size_t em = 0; em < options_.max_em_iterations; ++em) {
+    ++stats.em_iterations;
+    // E-step: rebuild fields from the current weights and previous-iteration
+    // probabilities (Eq. 6), then sample.
+    mrf_ = BuildClaimMrf(*db_, model_, prev_probs, options_.crf, couplings_);
+    auto samples = RunGibbs(mrf_, *state, warm, nullptr, options_.gibbs, &rng_);
+    if (!samples.ok()) return samples.status();
+    last_samples_ = std::move(samples).value();
+    warm_config_ = last_samples_.samples().back();
+    warm = &warm_config_;
+    std::vector<double> new_probs = last_samples_.Marginals(*state);
+
+    // M-step: refit the log-linear weights on soft-labelled cliques (Eq. 8).
+    if (options_.fit_weights) {
+      auto report = FitCrfWeights(*db_, new_probs, *state, options_.crf,
+                                  options_.tron, &model_);
+      if (!report.ok()) return report.status();
+      stats.tron_iterations += report.value().iterations;
+    }
+
+    double max_change = 0.0;
+    for (size_t c = 0; c < new_probs.size(); ++c) {
+      max_change = std::max(max_change, std::fabs(new_probs[c] - prev_probs[c]));
+    }
+    stats.max_prob_change = max_change;
+    prev_probs = std::move(new_probs);
+    if (max_change < options_.em_tolerance) break;
+  }
+
+  for (size_t c = 0; c < prev_probs.size(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (!state->IsLabeled(id)) state->set_prob(id, prev_probs[c]);
+  }
+
+  // Rebuild the cached MRF with the FINAL weights: consumers (guidance,
+  // confirmation checks, cross-validation) must see the post-M-step model,
+  // not the fields of the last E-step. This matters most right after user
+  // input flips the weights — the stale fields would carry the old model.
+  mrf_ = BuildClaimMrf(*db_, model_, prev_probs, options_.crf, couplings_);
+  {
+    const std::vector<double> evidence = model_.EvidenceLogOdds(*db_);
+    evidence_field_.resize(evidence.size());
+    for (size_t c = 0; c < evidence.size(); ++c) {
+      evidence_field_[c] = 0.5 * evidence[c];
+    }
+  }
+  ready_ = true;
+  return stats;
+}
+
+Result<std::vector<double>> ICrf::ResampleProbs(const BeliefState& state,
+                                                const std::vector<ClaimId>* restrict,
+                                                Rng* rng,
+                                                bool neutral_prior) const {
+  if (!ready_) {
+    return Status::FailedPrecondition("ICrf::ResampleProbs: call Infer() first");
+  }
+  if (state.num_claims() != mrf_.num_claims()) {
+    return Status::InvalidArgument("ICrf::ResampleProbs: state size mismatch");
+  }
+  // Warm-start from the current MAP-ish spins so the restricted chain mixes
+  // quickly from the incumbent configuration.
+  SpinConfig warm(state.num_claims(), 0);
+  for (size_t c = 0; c < state.num_claims(); ++c) {
+    warm[c] = state.prob(static_cast<ClaimId>(c)) >= 0.5 ? 1 : 0;
+  }
+  FieldOverrides overrides;
+  if (neutral_prior) {
+    if (restrict != nullptr) {
+      for (const ClaimId c : *restrict) {
+        if (c < evidence_field_.size()) {
+          overrides.emplace_back(c, evidence_field_[c]);
+        }
+      }
+    } else {
+      for (ClaimId c = 0; c < evidence_field_.size(); ++c) {
+        overrides.emplace_back(c, evidence_field_[c]);
+      }
+    }
+  }
+  auto samples =
+      RunGibbs(mrf_, state, &warm, restrict, options_.hypothetical_gibbs, rng,
+               overrides.empty() ? nullptr : &overrides);
+  if (!samples.ok()) return samples.status();
+  const std::vector<double> marginals = samples.value().Marginals(state);
+
+  std::vector<double> probs = state.probs();
+  for (size_t c = 0; c < probs.size(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (state.IsLabeled(id)) {
+      probs[c] = state.label(id) == ClaimLabel::kCredible ? 1.0 : 0.0;
+    }
+  }
+  if (restrict == nullptr) {
+    for (size_t c = 0; c < probs.size(); ++c) {
+      if (!state.IsLabeled(static_cast<ClaimId>(c))) probs[c] = marginals[c];
+    }
+  } else {
+    for (const ClaimId id : *restrict) {
+      if (id < probs.size() && !state.IsLabeled(id)) probs[id] = marginals[id];
+    }
+  }
+  return probs;
+}
+
+std::vector<ClaimId> ICrf::Neighborhood(ClaimId claim, size_t radius,
+                                        size_t max_claims) const {
+  if (!ready_) return {claim};
+  return CouplingNeighborhood(mrf_, claim, radius, max_claims);
+}
+
+}  // namespace veritas

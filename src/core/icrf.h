@@ -1,0 +1,113 @@
+#ifndef VERITAS_CORE_ICRF_H_
+#define VERITAS_CORE_ICRF_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crf/gibbs.h"
+#include "crf/model.h"
+#include "crf/mrf.h"
+#include "crf/partition.h"
+#include "data/model.h"
+#include "optim/tron.h"
+
+namespace veritas {
+
+/// Options of the incremental inference engine (§3.2).
+struct ICrfOptions {
+  CrfConfig crf;
+  GibbsOptions gibbs;           ///< E-step sampling for full inference
+  GibbsOptions hypothetical_gibbs{8, 24, 1};  ///< cheaper sampling for Q+/Q-
+  TronOptions tron;             ///< M-step solver
+  size_t max_em_iterations = 4;
+  double em_tolerance = 5e-3;   ///< max per-claim probability change to stop
+  bool fit_weights = true;      ///< disable to freeze the log-linear weights
+};
+
+/// Statistics of one Infer() call.
+struct InferenceStats {
+  size_t em_iterations = 0;
+  size_t tron_iterations = 0;
+  double max_prob_change = 0.0;
+};
+
+/// iCRF: incremental EM inference over the probabilistic fact database
+/// (§3.2). The engine caches the coupling structure, the current weights,
+/// the last-built MRF and the last Gibbs configuration, so that each
+/// iteration of the validation process warm-starts from the previous one
+/// (the view-maintenance principle) instead of recomputing from scratch.
+class ICrf {
+ public:
+  /// `db` must outlive the engine. Call SyncStructures() after the database
+  /// gains claims/documents/sources (streaming setting, §7).
+  ICrf(const FactDatabase* db, const ICrfOptions& options, uint64_t seed);
+
+  /// Rebuilds cached structures (couplings, partition, claim-source map)
+  /// from the current database contents.
+  Status SyncStructures();
+
+  /// Full incremental EM inference: updates the probabilities of unlabeled
+  /// claims in *state from the current model, then refits the weights.
+  Result<InferenceStats> Infer(BeliefState* state);
+
+  /// Hypothetical re-inference with frozen weights and cached fields:
+  /// resamples the claims in `restrict` (all unlabeled claims when null)
+  /// under the labels of `state`, and returns the full probability vector
+  /// (labels fixed, untouched claims keep their `state` probability).
+  /// With `neutral_prior`, the restricted claims' fields drop the carried-
+  /// over probability prior and use the feature evidence alone — required by
+  /// leave-one-out checks (§5.2, §6.1), where the prior of the label under
+  /// scrutiny would anchor the chain to that very label.
+  /// Thread-safe: callers supply their own Rng. Requires a prior Infer().
+  Result<std::vector<double>> ResampleProbs(const BeliefState& state,
+                                            const std::vector<ClaimId>* restrict,
+                                            Rng* rng,
+                                            bool neutral_prior = false) const;
+
+  /// Bounded coupling-graph neighborhood of a claim (partition optimization,
+  /// §5.1). Requires a prior Infer().
+  std::vector<ClaimId> Neighborhood(ClaimId claim, size_t radius,
+                                    size_t max_claims) const;
+
+  const FactDatabase& db() const { return *db_; }
+  const ICrfOptions& options() const { return options_; }
+  const CrfModel& model() const { return model_; }
+  CrfModel* mutable_model() { return &model_; }
+  const ClaimMrf& mrf() const { return mrf_; }
+  const SampleSet& last_samples() const { return last_samples_; }
+  const ClaimPartition& partition() const { return partition_; }
+  bool ready() const { return ready_; }
+
+  /// Distinct sources connected to each claim (used by the source-driven
+  /// strategy and the batch correlation matrix).
+  const std::vector<std::vector<SourceId>>& claim_sources() const {
+    return claim_sources_;
+  }
+
+  /// Clique indices per source (used to evaluate source trustworthiness
+  /// locally during source-driven guidance).
+  const std::vector<std::vector<size_t>>& source_cliques() const {
+    return source_cliques_;
+  }
+
+ private:
+  const FactDatabase* db_;
+  ICrfOptions options_;
+  Rng rng_;
+  CrfModel model_;
+  std::vector<ClaimMrf::Edge> couplings_;
+  ClaimPartition partition_;
+  std::vector<std::vector<SourceId>> claim_sources_;
+  std::vector<std::vector<size_t>> source_cliques_;
+  ClaimMrf mrf_;
+  std::vector<double> evidence_field_;  ///< prior-free fields (0.5 * evidence)
+  SampleSet last_samples_;
+  SpinConfig warm_config_;
+  bool ready_ = false;
+  bool structures_built_ = false;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_ICRF_H_

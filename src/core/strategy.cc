@@ -1,0 +1,402 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math.h"
+#include "crf/entropy.h"
+
+namespace veritas {
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return "random";
+    case StrategyKind::kUncertainty:
+      return "uncertainty";
+    case StrategyKind::kInfoGain:
+      return "info";
+    case StrategyKind::kSource:
+      return "source";
+    case StrategyKind::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+Result<ClaimId> SelectionStrategy::Select(const ICrf& icrf,
+                                          const BeliefState& state) {
+  auto ranked = Rank(icrf, state, 1);
+  if (!ranked.ok()) return ranked.status();
+  if (ranked.value().empty()) {
+    return Status::NotFound("SelectionStrategy: no unlabeled claims");
+  }
+  return ranked.value().front();
+}
+
+std::vector<ClaimId> CandidatePool(const BeliefState& state, size_t pool) {
+  std::vector<ClaimId> unlabeled = state.UnlabeledClaims();
+  if (pool == 0 || unlabeled.size() <= pool) return unlabeled;
+  // Keep the `pool` most uncertain claims (largest Bernoulli entropy, i.e.
+  // probability closest to 0.5).
+  std::nth_element(unlabeled.begin(), unlabeled.begin() + pool, unlabeled.end(),
+                   [&](ClaimId a, ClaimId b) {
+                     return std::fabs(state.prob(a) - 0.5) <
+                            std::fabs(state.prob(b) - 0.5);
+                   });
+  unlabeled.resize(pool);
+  return unlabeled;
+}
+
+double HybridScore(double error_rate, double unreliable_ratio,
+                   double labeled_ratio) {
+  const double h = std::clamp(labeled_ratio, 0.0, 1.0);
+  const double exponent =
+      std::max(0.0, error_rate) * (1.0 - h) + std::max(0.0, unreliable_ratio) * h;
+  return 1.0 - std::exp(-exponent);
+}
+
+namespace {
+
+/// Deterministic per-candidate random stream: evaluation order (and thread
+/// scheduling) never changes the scores.
+Rng CandidateRng(uint64_t seed, ClaimId candidate, int branch) {
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (candidate + 1)) ^
+             (0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(branch + 1)));
+}
+
+/// Ranks candidates by decreasing score, ties broken by id for determinism.
+std::vector<ClaimId> RankByScore(const std::vector<ClaimId>& candidates,
+                                 const std::vector<double>& scores, size_t k) {
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return candidates[a] < candidates[b];
+  });
+  std::vector<ClaimId> ranked;
+  ranked.reserve(std::min(k, candidates.size()));
+  for (size_t i = 0; i < order.size() && ranked.size() < k; ++i) {
+    ranked.push_back(candidates[order[i]]);
+  }
+  return ranked;
+}
+
+/// Runs `fn(i)` over candidates — parallel for the kParallelPartition
+/// variant, serial otherwise.
+void ForEachCandidate(const GuidanceConfig& config, ThreadPool* pool, size_t n,
+                      const std::function<void(size_t)>& fn) {
+  if (config.variant == GuidanceVariant::kParallelPartition && pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<double>> ComputeClaimInfoGains(
+    const ICrf& icrf, const BeliefState& state,
+    const std::vector<ClaimId>& candidates, const GuidanceConfig& config,
+    ThreadPool* pool) {
+  if (!icrf.ready()) {
+    return Status::FailedPrecondition("ComputeClaimInfoGains: inference not run");
+  }
+  std::vector<double> gains(candidates.size(), 0.0);
+  std::vector<Status> failures(candidates.size());
+
+  ForEachCandidate(config, pool, candidates.size(), [&](size_t i) {
+    const ClaimId c = candidates[i];
+    const std::vector<ClaimId> neighborhood = icrf.Neighborhood(
+        c, config.neighborhood_radius, config.neighborhood_cap);
+    const double p = ClampProb(state.prob(c));
+
+    // Entropy of the neighborhood/component before validation.
+    double h_before = 0.0;
+    bool exact_ok = false;
+    const std::vector<ClaimId>* entropy_scope = &neighborhood;
+    std::vector<ClaimId> component;
+    if (config.variant == GuidanceVariant::kOrigin) {
+      const auto& partition = icrf.partition();
+      component = partition.members[partition.component_of[c]];
+      entropy_scope = &component;
+      auto exact = ExactComponentEntropy(icrf.mrf(), state, component,
+                                         config.max_enumeration_claims);
+      if (exact.ok()) {
+        h_before = exact.value();
+        exact_ok = true;
+      }
+    }
+    if (!exact_ok) {
+      h_before = ApproxSubsetEntropy(state.probs(), *entropy_scope);
+    }
+
+    // Expected entropy under hypothetical validation (Eq. 14).
+    double h_after_expected = 0.0;
+    for (int branch = 0; branch < 2; ++branch) {
+      const bool value = branch == 0;
+      const double branch_weight = value ? p : 1.0 - p;
+      if (branch_weight <= kProbEpsilon) continue;
+      BeliefState hypo = state;
+      hypo.SetLabel(c, value);
+      double h_branch = 0.0;
+      bool branch_exact = false;
+      if (exact_ok) {
+        auto exact = ExactComponentEntropy(icrf.mrf(), hypo, *entropy_scope,
+                                           config.max_enumeration_claims);
+        if (exact.ok()) {
+          h_branch = exact.value();
+          branch_exact = true;
+        }
+      }
+      if (!branch_exact) {
+        Rng rng = CandidateRng(config.seed, c, branch);
+        auto probs = icrf.ResampleProbs(hypo, &neighborhood, &rng);
+        if (!probs.ok()) {
+          failures[i] = probs.status();
+          return;
+        }
+        h_branch = ApproxSubsetEntropy(probs.value(), *entropy_scope);
+      }
+      h_after_expected += branch_weight * h_branch;
+    }
+    gains[i] = h_before - h_after_expected;
+  });
+
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
+  }
+  return gains;
+}
+
+Result<std::vector<double>> ComputeSourceInfoGains(
+    const ICrf& icrf, const BeliefState& state,
+    const std::vector<ClaimId>& candidates, const GuidanceConfig& config,
+    ThreadPool* pool) {
+  if (!icrf.ready()) {
+    return Status::FailedPrecondition("ComputeSourceInfoGains: inference not run");
+  }
+  const FactDatabase& db = icrf.db();
+  const Grounding current = GroundingFromProbs(state.probs());
+  std::vector<double> gains(candidates.size(), 0.0);
+  std::vector<Status> failures(candidates.size());
+
+  // Source trust given a grounding override limited to `scope` claims.
+  auto local_trust = [&](SourceId s, const Grounding& over,
+                         const std::vector<uint8_t>& in_scope) {
+    double agree = 0.0;
+    double total = 0.0;
+    for (const size_t ci : icrf.source_cliques()[s]) {
+      const Clique& clique = db.clique(ci);
+      const bool credible = in_scope[clique.claim] != 0 ? over[clique.claim] != 0
+                                                        : current[clique.claim] != 0;
+      const bool supports = clique.stance == Stance::kSupport;
+      agree += (supports == credible) ? 1.0 : 0.0;
+      total += 1.0;
+    }
+    return total > 0.0 ? agree / total : 0.5;
+  };
+
+  ForEachCandidate(config, pool, candidates.size(), [&](size_t i) {
+    const ClaimId c = candidates[i];
+    const std::vector<ClaimId> neighborhood = icrf.Neighborhood(
+        c, config.neighborhood_radius, config.neighborhood_cap);
+    // Affected sources: any source touching the neighborhood.
+    std::vector<SourceId> affected;
+    {
+      std::unordered_set<SourceId> dedupe;
+      for (const ClaimId n : neighborhood) {
+        for (const SourceId s : icrf.claim_sources()[n]) {
+          if (dedupe.insert(s).second) affected.push_back(s);
+        }
+      }
+    }
+    std::vector<uint8_t> in_scope(db.num_claims(), 0);
+    for (const ClaimId n : neighborhood) in_scope[n] = 1;
+
+    double h_before = 0.0;
+    for (const SourceId s : affected) {
+      h_before += BinaryEntropy(local_trust(s, current, in_scope));
+    }
+
+    const double p = ClampProb(state.prob(c));
+    double h_after_expected = 0.0;
+    for (int branch = 0; branch < 2; ++branch) {
+      const bool value = branch == 0;
+      const double branch_weight = value ? p : 1.0 - p;
+      if (branch_weight <= kProbEpsilon) continue;
+      BeliefState hypo = state;
+      hypo.SetLabel(c, value);
+      Rng rng = CandidateRng(config.seed, c, branch + 2);
+      auto probs = icrf.ResampleProbs(hypo, &neighborhood, &rng);
+      if (!probs.ok()) {
+        failures[i] = probs.status();
+        return;
+      }
+      const Grounding hypothetical = GroundingFromProbs(probs.value());
+      double h_branch = 0.0;
+      for (const SourceId s : affected) {
+        h_branch += BinaryEntropy(local_trust(s, hypothetical, in_scope));
+      }
+      h_after_expected += branch_weight * h_branch;
+    }
+    gains[i] = h_before - h_after_expected;
+  });
+
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
+  }
+  return gains;
+}
+
+namespace {
+
+class RandomStrategy : public SelectionStrategy {
+ public:
+  explicit RandomStrategy(const GuidanceConfig& config) : rng_(config.seed) {}
+
+  std::string name() const override { return "random"; }
+
+  Result<std::vector<ClaimId>> Rank(const ICrf& icrf, const BeliefState& state,
+                                    size_t k) override {
+    (void)icrf;
+    std::vector<ClaimId> unlabeled = state.UnlabeledClaims();
+    if (unlabeled.empty()) {
+      return Status::NotFound("RandomStrategy: no unlabeled claims");
+    }
+    rng_.Shuffle(&unlabeled);
+    if (unlabeled.size() > k) unlabeled.resize(k);
+    return unlabeled;
+  }
+
+ private:
+  Rng rng_;
+};
+
+class UncertaintyStrategy : public SelectionStrategy {
+ public:
+  explicit UncertaintyStrategy(const GuidanceConfig& config) : config_(config) {}
+
+  std::string name() const override { return "uncertainty"; }
+
+  Result<std::vector<ClaimId>> Rank(const ICrf& icrf, const BeliefState& state,
+                                    size_t k) override {
+    (void)icrf;
+    const std::vector<ClaimId> unlabeled = state.UnlabeledClaims();
+    if (unlabeled.empty()) {
+      return Status::NotFound("UncertaintyStrategy: no unlabeled claims");
+    }
+    std::vector<double> scores(unlabeled.size());
+    for (size_t i = 0; i < unlabeled.size(); ++i) {
+      scores[i] = BinaryEntropy(state.prob(unlabeled[i]));
+    }
+    return RankByScore(unlabeled, scores, k);
+  }
+
+ private:
+  GuidanceConfig config_;
+};
+
+class InfoGainStrategy : public SelectionStrategy {
+ public:
+  InfoGainStrategy(const GuidanceConfig& config, std::shared_ptr<ThreadPool> pool)
+      : config_(config), pool_(std::move(pool)) {}
+
+  std::string name() const override { return "info"; }
+
+  Result<std::vector<ClaimId>> Rank(const ICrf& icrf, const BeliefState& state,
+                                    size_t k) override {
+    const std::vector<ClaimId> candidates =
+        CandidatePool(state, config_.candidate_pool);
+    if (candidates.empty()) {
+      return Status::NotFound("InfoGainStrategy: no unlabeled claims");
+    }
+    auto gains =
+        ComputeClaimInfoGains(icrf, state, candidates, config_, pool_.get());
+    if (!gains.ok()) return gains.status();
+    return RankByScore(candidates, gains.value(), k);
+  }
+
+ private:
+  GuidanceConfig config_;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+class SourceStrategy : public SelectionStrategy {
+ public:
+  SourceStrategy(const GuidanceConfig& config, std::shared_ptr<ThreadPool> pool)
+      : config_(config), pool_(std::move(pool)) {}
+
+  std::string name() const override { return "source"; }
+
+  Result<std::vector<ClaimId>> Rank(const ICrf& icrf, const BeliefState& state,
+                                    size_t k) override {
+    const std::vector<ClaimId> candidates =
+        CandidatePool(state, config_.candidate_pool);
+    if (candidates.empty()) {
+      return Status::NotFound("SourceStrategy: no unlabeled claims");
+    }
+    auto gains =
+        ComputeSourceInfoGains(icrf, state, candidates, config_, pool_.get());
+    if (!gains.ok()) return gains.status();
+    return RankByScore(candidates, gains.value(), k);
+  }
+
+ private:
+  GuidanceConfig config_;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+class HybridStrategy : public SelectionStrategy, public HybridControl {
+ public:
+  HybridStrategy(const GuidanceConfig& config, std::shared_ptr<ThreadPool> pool)
+      : rng_(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL),
+        info_(config, pool),
+        source_(config, pool) {}
+
+  std::string name() const override { return "hybrid"; }
+
+  Result<std::vector<ClaimId>> Rank(const ICrf& icrf, const BeliefState& state,
+                                    size_t k) override {
+    // Roulette-wheel choice between the strategies (Alg. 1 lines 7-9).
+    if (rng_.Uniform() < z_) {
+      return source_.Rank(icrf, state, k);
+    }
+    return info_.Rank(icrf, state, k);
+  }
+
+  void set_z(double z) override { z_ = std::clamp(z, 0.0, 1.0); }
+  double z() const override { return z_; }
+
+ private:
+  Rng rng_;
+  double z_ = 0.0;  // info-driven at the start (little user input, §4.4)
+  InfoGainStrategy info_;
+  SourceStrategy source_;
+};
+
+}  // namespace
+
+std::unique_ptr<SelectionStrategy> MakeStrategy(StrategyKind kind,
+                                                const GuidanceConfig& config) {
+  std::shared_ptr<ThreadPool> pool;
+  if (config.variant == GuidanceVariant::kParallelPartition) {
+    pool = std::make_shared<ThreadPool>(config.num_threads);
+  }
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomStrategy>(config);
+    case StrategyKind::kUncertainty:
+      return std::make_unique<UncertaintyStrategy>(config);
+    case StrategyKind::kInfoGain:
+      return std::make_unique<InfoGainStrategy>(config, pool);
+    case StrategyKind::kSource:
+      return std::make_unique<SourceStrategy>(config, pool);
+    case StrategyKind::kHybrid:
+      return std::make_unique<HybridStrategy>(config, pool);
+  }
+  return nullptr;
+}
+
+}  // namespace veritas

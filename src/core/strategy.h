@@ -1,0 +1,105 @@
+#ifndef VERITAS_CORE_STRATEGY_H_
+#define VERITAS_CORE_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/grounding.h"
+#include "core/icrf.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Runtime variants of the guidance computation (§5.1 / Fig. 2):
+///   kOrigin           exact entropy where tractable (tree BP or enumeration
+///                     per component, Eq. 12), serial candidate evaluation.
+///   kScalable         linear-time approximate entropy (Eq. 13), serial.
+///   kParallelPartition approximate entropy + thread-pool parallelism over
+///                     candidates + neighborhood-partitioned re-inference.
+enum class GuidanceVariant { kOrigin, kScalable, kParallelPartition };
+
+/// The five selection policies compared in §8.4 / Fig. 6.
+enum class StrategyKind { kRandom, kUncertainty, kInfoGain, kSource, kHybrid };
+
+const char* StrategyName(StrategyKind kind);
+
+/// Knobs shared by the guidance strategies.
+struct GuidanceConfig {
+  GuidanceVariant variant = GuidanceVariant::kParallelPartition;
+  /// Candidate pool: the most-uncertain `candidate_pool` unlabeled claims
+  /// are scored per iteration (0 = score all unlabeled claims). This is an
+  /// engineering knob on top of the paper (see DESIGN.md); the ablation
+  /// bench quantifies its effect.
+  size_t candidate_pool = 64;
+  /// Neighborhood of hypothetical re-inference (partition optimization).
+  size_t neighborhood_radius = 2;
+  size_t neighborhood_cap = 128;
+  /// Worker threads for kParallelPartition (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Maximum unlabeled claims for the enumeration fallback of exact entropy.
+  size_t max_enumeration_claims = 16;
+  uint64_t seed = 17;
+};
+
+/// A claim-selection policy (step 1 of the validation process, §2.3).
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Returns up to `k` unlabeled claims ordered by decreasing preference.
+  /// Errors when no unlabeled claim remains.
+  virtual Result<std::vector<ClaimId>> Rank(const ICrf& icrf,
+                                            const BeliefState& state, size_t k) = 0;
+
+  /// Convenience: the single best claim.
+  Result<ClaimId> Select(const ICrf& icrf, const BeliefState& state);
+};
+
+/// Creates a strategy. The returned strategy owns its random stream and,
+/// for the parallel variant, its thread pool.
+std::unique_ptr<SelectionStrategy> MakeStrategy(StrategyKind kind,
+                                                const GuidanceConfig& config);
+
+/// Information gain IG_C (Eq. 15) of validating each candidate, computed as
+/// the expected entropy reduction under hypothetical user input (Q+ / Q-
+/// re-inference with frozen weights, restricted to the candidate's coupling
+/// neighborhood). Exposed for the batch selector (§6.2) and diagnostics.
+Result<std::vector<double>> ComputeClaimInfoGains(
+    const ICrf& icrf, const BeliefState& state,
+    const std::vector<ClaimId>& candidates, const GuidanceConfig& config,
+    ThreadPool* pool);
+
+/// Source-side information gain IG_S (Eq. 20): the expected reduction of
+/// source-trustworthiness entropy (Eq. 18) under hypothetical user input.
+Result<std::vector<double>> ComputeSourceInfoGains(
+    const ICrf& icrf, const BeliefState& state,
+    const std::vector<ClaimId>& candidates, const GuidanceConfig& config,
+    ThreadPool* pool);
+
+/// The candidate pool: the `pool` most uncertain unlabeled claims (all of
+/// them when pool == 0 or fewer are unlabeled).
+std::vector<ClaimId> CandidatePool(const BeliefState& state, size_t pool);
+
+/// Hybrid strategy z-score (Eq. 23): z = 1 - exp(-(err (1-h) + r h)) with
+/// h the labeled ratio, err the last error rate, r the unreliable-source
+/// ratio.
+double HybridScore(double error_rate, double unreliable_ratio, double labeled_ratio);
+
+/// The hybrid strategy needs its z-score updated by the validation loop;
+/// this interface avoids a dynamic_cast at the call site.
+class HybridControl {
+ public:
+  virtual ~HybridControl() = default;
+  virtual void set_z(double z) = 0;
+  virtual double z() const = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_STRATEGY_H_

@@ -1,0 +1,98 @@
+#ifndef VERITAS_CORE_STREAMING_H_
+#define VERITAS_CORE_STREAMING_H_
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/icrf.h"
+#include "data/model.h"
+#include "optim/online_em.h"
+
+namespace veritas {
+
+/// Options of streaming fact checking (Algorithm 2, §7).
+struct StreamingOptions {
+  ICrfOptions icrf;
+  /// Robbins-Monro step sizes gamma_t = a / (t0 + t)^kappa (Eq. 29).
+  double step_a = 1.0;
+  double step_t0 = 2.0;
+  double step_kappa = 0.7;
+  /// Examples retained in the surrogate objective; older (down-weighted)
+  /// clique examples are discarded, matching the paper's "claim and user
+  /// input are discarded after validation".
+  size_t window_cap = 4096;
+  /// M-step budget per arrival (TRON outer iterations).
+  size_t tron_iterations_per_arrival = 6;
+  uint64_t seed = 99;
+};
+
+/// Statistics of one arrival update.
+struct ArrivalStats {
+  ClaimId claim = 0;
+  double update_seconds = 0.0;  ///< model-update time (the §8.8 metric)
+  double initial_prob = 0.5;    ///< educated guess for the new claim
+};
+
+/// Streaming fact checker (Algorithm 2): owns a growing fact database and
+/// maintains the CRF weights by online EM with stochastic approximation
+/// (Eq. 29-30) instead of re-training on the full history. The weights are
+/// shared with the validation process (Alg. 1) through the embedded ICrf
+/// engine: validation runs on a synced snapshot and both algorithms update
+/// the same parameter vector (Alg. 2 lines 7/10).
+class StreamingFactChecker {
+ public:
+  explicit StreamingFactChecker(const StreamingOptions& options);
+
+  /// Pre-registers structure (sources must exist before their documents).
+  SourceId AddSource(Source source);
+  DocumentId AddDocument(Document document);
+
+  /// Alg. 2 body: appends the claim with its mentions, estimates its
+  /// credibility with the current weights, and performs the stochastic-
+  /// approximation parameter update.
+  Result<ArrivalStats> OnClaimArrival(
+      Claim claim, const std::vector<std::pair<DocumentId, Stance>>& mentions,
+      bool has_truth, bool truth);
+
+  /// User input arriving from the validation process (Alg. 1 / Alg. 2 lines
+  /// 7 and 10 exchange parameters): labels the claim, injects its cliques as
+  /// strongly-weighted examples into the surrogate, and re-optimizes the
+  /// weights. This is what breaks the uninformative theta = 0 fixed point of
+  /// pure unlabeled streaming.
+  Result<ArrivalStats> OnUserLabel(ClaimId claim, bool credible);
+
+  /// Rebuilds the inference structures over the claims so far and runs a
+  /// full iCRF pass — call before invoking validation on the snapshot.
+  Result<InferenceStats> SyncForValidation();
+
+  const FactDatabase& db() const { return db_; }
+  const BeliefState& state() const { return state_; }
+  BeliefState* mutable_state() { return &state_; }
+  ICrf* icrf() { return &icrf_; }
+  size_t arrivals() const { return arrivals_; }
+
+  /// Current model weights (handoff with Alg. 1).
+  const std::vector<double>& weights() const { return icrf_.model().weights(); }
+  void SetWeights(const std::vector<double>& weights);
+
+ private:
+  struct WindowExample {
+    std::vector<double> features;
+    double target = 0.5;
+    double log_weight = 0.0;  ///< log of gamma_t at insertion
+  };
+
+  StreamingOptions options_;
+  FactDatabase db_;
+  BeliefState state_;
+  ICrf icrf_;
+  std::deque<WindowExample> window_;
+  double log_scale_ = 0.0;  ///< cumulative log prod (1 - gamma_t)
+  size_t arrivals_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_STREAMING_H_

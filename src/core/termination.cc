@@ -1,0 +1,125 @@
+#include "core/termination.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace veritas {
+
+TerminationMonitor::TerminationMonitor(const TerminationOptions& options)
+    : options_(options) {}
+
+void TerminationMonitor::Observe(const TerminationSignals& signals) {
+  // Uncertainty reduction rate (H_i - H_{i+1}) / H_i.
+  if (previous_entropy_ > 0.0) {
+    last_urr_ = (previous_entropy_ - signals.entropy) / previous_entropy_;
+    if (std::fabs(last_urr_) < options_.urr_threshold) {
+      ++urr_calm_rounds_;
+    } else {
+      urr_calm_rounds_ = 0;
+    }
+  }
+  previous_entropy_ = signals.entropy;
+
+  // Amount of grounding changes.
+  last_cng_rate_ = static_cast<double>(signals.grounding_changes) /
+                   static_cast<double>(std::max<size_t>(1, signals.num_claims));
+  if (last_cng_rate_ < options_.cng_threshold) {
+    ++cng_calm_rounds_;
+  } else {
+    cng_calm_rounds_ = 0;
+  }
+
+  // Validated predictions streak.
+  if (signals.prediction_matched_input) {
+    ++prediction_streak_;
+  } else {
+    prediction_streak_ = 0;
+  }
+
+  // Precision improvement rate (when cross-validation was run).
+  if (signals.cv_precision >= 0.0) {
+    if (previous_cv_precision_ > 0.0) {
+      last_pir_ = (signals.cv_precision - previous_cv_precision_) /
+                  previous_cv_precision_;
+      pir_available_ = true;
+      if (std::fabs(last_pir_) < options_.pir_threshold) {
+        ++pir_calm_rounds_;
+      } else {
+        pir_calm_rounds_ = 0;
+      }
+    }
+    previous_cv_precision_ = signals.cv_precision;
+  }
+}
+
+bool TerminationMonitor::ShouldStop(std::string* reason) const {
+  if (options_.enable_urr && urr_calm_rounds_ >= options_.urr_patience) {
+    if (reason != nullptr) *reason = "uncertainty-reduction-rate";
+    return true;
+  }
+  if (options_.enable_cng && cng_calm_rounds_ >= options_.cng_patience) {
+    if (reason != nullptr) *reason = "grounding-changes";
+    return true;
+  }
+  if (options_.enable_pre && prediction_streak_ >= options_.pre_streak) {
+    if (reason != nullptr) *reason = "validated-predictions";
+    return true;
+  }
+  if (options_.enable_pir && pir_calm_rounds_ >= options_.pir_patience) {
+    if (reason != nullptr) *reason = "precision-improvement-rate";
+    return true;
+  }
+  return false;
+}
+
+Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
+                                   size_t folds, Rng* rng,
+                                   size_t neighborhood_radius,
+                                   size_t neighborhood_cap) {
+  const std::vector<ClaimId> labeled = state.LabeledClaims();
+  if (labeled.size() < folds || folds == 0) {
+    return Status::FailedPrecondition("EstimateCvPrecision: not enough labels");
+  }
+  auto split = KFoldSplit(labeled.size(), folds);
+  if (!split.ok()) return split.status();
+
+  double total_accuracy = 0.0;
+  for (const auto& fold : split.value()) {
+    BeliefState holdout = state;
+    std::vector<ClaimId> fold_claims;
+    fold_claims.reserve(fold.size());
+    for (const size_t index : fold) {
+      fold_claims.push_back(labeled[index]);
+      holdout.ClearLabel(labeled[index], 0.5);
+    }
+    // Re-infer over the union of the fold claims' neighborhoods.
+    std::vector<ClaimId> scope;
+    {
+      std::vector<uint8_t> seen(state.num_claims(), 0);
+      for (const ClaimId c : fold_claims) {
+        for (const ClaimId n :
+             icrf.Neighborhood(c, neighborhood_radius, neighborhood_cap)) {
+          if (!seen[n]) {
+            seen[n] = 1;
+            scope.push_back(n);
+          }
+        }
+      }
+    }
+    auto probs = icrf.ResampleProbs(holdout, &scope, rng, /*neutral_prior=*/true);
+    if (!probs.ok()) return probs.status();
+    size_t correct = 0;
+    for (const ClaimId c : fold_claims) {
+      const bool predicted = probs.value()[c] >= 0.5;
+      const bool user_value = state.label(c) == ClaimLabel::kCredible;
+      if (predicted == user_value) ++correct;
+    }
+    total_accuracy +=
+        static_cast<double>(correct) / static_cast<double>(fold_claims.size());
+  }
+  return total_accuracy / static_cast<double>(folds);
+}
+
+}  // namespace veritas

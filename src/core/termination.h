@@ -1,0 +1,90 @@
+#ifndef VERITAS_CORE_TERMINATION_H_
+#define VERITAS_CORE_TERMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/grounding.h"
+#include "core/icrf.h"
+
+namespace veritas {
+
+/// Which early-termination criteria are armed, and their thresholds (§6.1).
+struct TerminationOptions {
+  bool enable_urr = false;
+  double urr_threshold = 0.2;   ///< stop when the uncertainty-reduction rate
+  size_t urr_patience = 3;      ///< stays below threshold this many rounds
+
+  bool enable_cng = false;
+  double cng_threshold = 0.01;  ///< fraction of claims changing grounding
+  size_t cng_patience = 3;
+
+  bool enable_pre = false;
+  size_t pre_streak = 10;       ///< consecutive validated predictions
+
+  bool enable_pir = false;
+  double pir_threshold = 0.02;  ///< precision-improvement rate
+  size_t pir_folds = 5;
+  size_t pir_interval = 10;     ///< iterations between cross-validations
+  size_t pir_patience = 2;
+};
+
+/// Per-iteration convergence signals fed to the monitor by the validation
+/// loop. `cv_precision` is negative when cross-validation was not run this
+/// iteration.
+struct TerminationSignals {
+  double entropy = 0.0;
+  size_t grounding_changes = 0;
+  size_t num_claims = 1;
+  bool prediction_matched_input = false;
+  double cv_precision = -1.0;
+};
+
+/// Tracks the four convergence indicators of §6.1 (URR, CNG, PRE, PIR) and
+/// decides when the validation process may stop early.
+class TerminationMonitor {
+ public:
+  explicit TerminationMonitor(const TerminationOptions& options);
+
+  /// Feeds the signals of one completed iteration.
+  void Observe(const TerminationSignals& signals);
+
+  /// True when any armed criterion has fired; *reason names it.
+  bool ShouldStop(std::string* reason) const;
+
+  // Last indicator values (plotted by the Fig. 9 bench).
+  double last_urr() const { return last_urr_; }
+  double last_cng_rate() const { return last_cng_rate_; }
+  size_t prediction_streak() const { return prediction_streak_; }
+  double last_pir() const { return last_pir_; }
+  bool pir_available() const { return pir_available_; }
+
+ private:
+  TerminationOptions options_;
+  double previous_entropy_ = -1.0;
+  double last_urr_ = 1.0;
+  size_t urr_calm_rounds_ = 0;
+  double last_cng_rate_ = 1.0;
+  size_t cng_calm_rounds_ = 0;
+  size_t prediction_streak_ = 0;
+  double previous_cv_precision_ = -1.0;
+  double last_pir_ = 1.0;
+  bool pir_available_ = false;
+  size_t pir_calm_rounds_ = 0;
+};
+
+/// Estimated model precision by k-fold cross-validation over the labelled
+/// claims (§6.1 "Precision improvement rate"): per fold, the fold's labels
+/// are removed, credibility is re-inferred with frozen weights, and the
+/// re-inferred grounding is compared with the held-out user input. Errors
+/// when fewer labelled claims than folds exist.
+Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
+                                   size_t folds, Rng* rng,
+                                   size_t neighborhood_radius = 2,
+                                   size_t neighborhood_cap = 128);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_TERMINATION_H_

@@ -1,0 +1,35 @@
+#include "core/user_model.h"
+
+namespace veritas {
+
+bool OracleUser::Validate(const FactDatabase& db, ClaimId claim, bool* skipped) {
+  if (skipped != nullptr) *skipped = false;
+  return db.has_ground_truth(claim) && db.ground_truth(claim);
+}
+
+ErroneousUser::ErroneousUser(double error_rate, uint64_t seed)
+    : error_rate_(error_rate), rng_(seed) {}
+
+bool ErroneousUser::Validate(const FactDatabase& db, ClaimId claim, bool* skipped) {
+  if (skipped != nullptr) *skipped = false;
+  const bool truth = db.has_ground_truth(claim) && db.ground_truth(claim);
+  if (rng_.Bernoulli(error_rate_)) {
+    ++mistakes_made_;
+    return !truth;
+  }
+  return truth;
+}
+
+SkippingUser::SkippingUser(double skip_rate, uint64_t seed)
+    : skip_rate_(skip_rate), rng_(seed) {}
+
+bool SkippingUser::Validate(const FactDatabase& db, ClaimId claim, bool* skipped) {
+  const bool truth = db.has_ground_truth(claim) && db.ground_truth(claim);
+  if (skipped != nullptr) {
+    *skipped = rng_.Bernoulli(skip_rate_);
+    if (*skipped) ++skips_;
+  }
+  return truth;
+}
+
+}  // namespace veritas

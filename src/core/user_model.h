@@ -1,0 +1,68 @@
+#ifndef VERITAS_CORE_USER_MODEL_H_
+#define VERITAS_CORE_USER_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Simulated validator used by the experiments (§8.1 "we use the ground
+/// truth of the datasets to simulate user input").
+class UserModel {
+ public:
+  virtual ~UserModel() = default;
+
+  /// Returns the user's verdict for `claim`. Sets *skipped when the user
+  /// declines to validate this claim (then the verdict is meaningless and
+  /// the caller should fall back to the next-ranked claim, §8.5).
+  virtual bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Always answers the ground truth.
+class OracleUser : public UserModel {
+ public:
+  bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) override;
+  std::string name() const override { return "oracle"; }
+};
+
+/// Answers the ground truth but errs with probability `error_rate` (§8.5).
+class ErroneousUser : public UserModel {
+ public:
+  ErroneousUser(double error_rate, uint64_t seed);
+
+  bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) override;
+  std::string name() const override { return "erroneous"; }
+
+  size_t mistakes_made() const { return mistakes_made_; }
+
+ private:
+  double error_rate_;
+  Rng rng_;
+  size_t mistakes_made_ = 0;
+};
+
+/// Skips a claim with probability `skip_rate`, otherwise answers truthfully
+/// (the missing-input scenario of §8.5 / Fig. 8).
+class SkippingUser : public UserModel {
+ public:
+  SkippingUser(double skip_rate, uint64_t seed);
+
+  bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) override;
+  std::string name() const override { return "skipping"; }
+
+  size_t skips() const { return skips_; }
+
+ private:
+  double skip_rate_;
+  Rng rng_;
+  size_t skips_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_USER_MODEL_H_

@@ -1,0 +1,244 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "crf/entropy.h"
+
+namespace veritas {
+
+ValidationProcess::ValidationProcess(const FactDatabase* db, UserModel* user,
+                                     const ValidationOptions& options)
+    : db_(db),
+      user_(user),
+      options_(options),
+      icrf_(db, options.icrf, options.seed),
+      strategy_(MakeStrategy(options.strategy, options.guidance)),
+      state_(db->num_claims()),
+      monitor_(options.termination),
+      rng_(options.seed ^ 0x5bd1e995ULL) {
+  hybrid_ = dynamic_cast<HybridControl*>(strategy_.get());
+  if (options_.batch_size > 1 &&
+      options_.guidance.variant == GuidanceVariant::kParallelPartition) {
+    batch_pool_ = std::make_shared<ThreadPool>(options_.guidance.num_threads);
+  }
+}
+
+Result<ValidationOutcome> ValidationProcess::Run() {
+  ValidationOutcome outcome;
+  outcome.state = BeliefState(db_->num_claims());
+
+  // Initial inference from the maximum-entropy prior (Alg. 1 lines 1-4).
+  state_ = BeliefState(db_->num_claims());
+  auto initial = icrf_.Infer(&state_);
+  if (!initial.ok()) return initial.status();
+  grounding_ = GroundingFromSamples(icrf_.last_samples(), state_);
+  outcome.initial_precision = GroundingPrecision(grounding_, *db_);
+
+  for (;;) {
+    const double precision = GroundingPrecision(grounding_, *db_);
+    if (precision >= options_.target_precision) {
+      outcome.stop_reason = "goal-reached";
+      break;
+    }
+    if (outcome.validations >= options_.budget) {
+      outcome.stop_reason = "budget-exhausted";
+      break;
+    }
+    std::string reason;
+    if (monitor_.ShouldStop(&reason)) {
+      outcome.stop_reason = "early-termination:" + reason;
+      break;
+    }
+    auto stepped = Step(&outcome);
+    if (!stepped.ok()) return stepped.status();
+    if (!stepped.value()) {
+      outcome.stop_reason = "claims-exhausted";
+      break;
+    }
+  }
+
+  outcome.state = state_;
+  outcome.grounding = grounding_;
+  outcome.final_precision = GroundingPrecision(grounding_, *db_);
+  return outcome;
+}
+
+Result<bool> ValidationProcess::Step(ValidationOutcome* outcome) {
+  if (state_.unlabeled_count() == 0) return false;
+  Stopwatch watch;
+  IterationRecord record;
+  record.iteration = ++iteration_;
+
+  // --- (1) Select claims to validate. ---------------------------------------
+  std::vector<ClaimId> selected;
+  if (options_.batch_size > 1) {
+    BatchOptions batch_options;
+    batch_options.batch_size =
+        std::min(options_.batch_size, state_.unlabeled_count());
+    batch_options.benefit_weight = options_.batch_benefit_weight;
+    batch_options.guidance = options_.guidance;
+    auto batch = SelectBatch(icrf_, state_, batch_options, batch_pool_.get());
+    if (!batch.ok()) return batch.status();
+    selected = batch.value().claims;
+  } else {
+    // Ranked list so a skipping user can fall back to the runner-up (§8.5).
+    auto ranked = strategy_->Rank(icrf_, state_, 5);
+    if (!ranked.ok()) return ranked.status();
+    for (const ClaimId candidate : ranked.value()) {
+      bool skipped = false;
+      const bool verdict = user_->Validate(*db_, candidate, &skipped);
+      if (!skipped) {
+        selected = {candidate};
+        record.answers = {static_cast<uint8_t>(verdict ? 1 : 0)};
+        break;
+      }
+      ++record.skips;
+    }
+    if (selected.empty()) {
+      // Every ranked claim was skipped; force the top choice.
+      bool skipped = false;
+      const ClaimId forced = ranked.value().front();
+      const bool verdict = user_->Validate(*db_, forced, &skipped);
+      selected = {forced};
+      record.answers = {static_cast<uint8_t>(verdict ? 1 : 0)};
+    }
+  }
+
+  // --- (2) Elicit user input (batch mode) and error rate (Eq. 22). ----------
+  if (options_.batch_size > 1) {
+    record.answers.clear();
+    for (const ClaimId claim : selected) {
+      bool skipped = false;
+      record.answers.push_back(
+          static_cast<uint8_t>(user_->Validate(*db_, claim, &skipped) ? 1 : 0));
+    }
+  }
+  record.claims = selected;
+
+  {
+    const ClaimId first = selected.front();
+    const bool first_answer = record.answers.front() != 0;
+    const double prior_prob = state_.prob(first);
+    const bool prior_grounding = first < grounding_.size() && grounding_[first] != 0;
+    record.error_rate = prior_grounding ? 1.0 - prior_prob : prior_prob;
+    record.prediction_matched = prior_grounding == first_answer;
+    last_error_rate_ = record.error_rate;
+  }
+
+  // --- (3) Incorporate input and infer (Alg. 1 lines 14-15). ----------------
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const ClaimId claim = selected[i];
+    const bool verdict = record.answers[i] != 0;
+    state_.SetLabel(claim, verdict);
+    ++outcome->validations;
+    ++validations_since_confirmation_;
+    if (db_->has_ground_truth(claim) && verdict != db_->ground_truth(claim)) {
+      ++outcome->mistakes_made;
+    }
+  }
+  auto stats = icrf_.Infer(&state_);
+  if (!stats.ok()) return stats.status();
+
+  // --- (4) Decide on the grounding (Alg. 1 line 16). -------------------------
+  const Grounding new_grounding = GroundingFromSamples(icrf_.last_samples(), state_);
+  const size_t changes = GroundingChanges(grounding_, new_grounding);
+  grounding_ = new_grounding;
+
+  // Hybrid score bookkeeping (Alg. 1 lines 17-18).
+  const std::vector<double> trust = SourceTrustworthiness(*db_, grounding_);
+  record.unreliable_ratio = UnreliableSourceRatio(trust);
+  record.z_score =
+      HybridScore(last_error_rate_, record.unreliable_ratio, state_.Effort());
+  if (hybrid_ != nullptr) hybrid_->set_z(record.z_score);
+
+  // Database uncertainty for the trace and the URR indicator.
+  if (options_.exact_entropy_trace) {
+    double exact_total = 0.0;
+    bool all_exact = true;
+    const auto& partition = icrf_.partition();
+    for (const auto& members : partition.members) {
+      auto component = ExactComponentEntropy(
+          icrf_.mrf(), state_, members, options_.guidance.max_enumeration_claims);
+      if (component.ok()) {
+        exact_total += component.value();
+      } else {
+        exact_total += ApproxSubsetEntropy(state_.probs(), members);
+        all_exact = false;
+      }
+    }
+    (void)all_exact;
+    record.entropy = exact_total;
+  } else {
+    record.entropy = ApproxDatabaseEntropy(state_.probs());
+  }
+
+  // Confirmation check (§5.2).
+  if (options_.confirmation_interval > 0 &&
+      validations_since_confirmation_ >= options_.confirmation_interval) {
+    validations_since_confirmation_ = 0;
+    VERITAS_RETURN_IF_ERROR(RunConfirmationCheck(outcome, &record));
+  }
+
+  // Early-termination signals (§6.1).
+  TerminationSignals signals;
+  signals.entropy = record.entropy;
+  signals.grounding_changes = changes;
+  signals.num_claims = db_->num_claims();
+  signals.prediction_matched_input = record.prediction_matched;
+  signals.cv_precision = -1.0;
+  if (options_.termination.enable_pir &&
+      iteration_ % std::max<size_t>(1, options_.termination.pir_interval) == 0) {
+    auto cv = EstimateCvPrecision(icrf_, state_, options_.termination.pir_folds,
+                                  &rng_, options_.guidance.neighborhood_radius,
+                                  options_.guidance.neighborhood_cap);
+    if (cv.ok()) signals.cv_precision = cv.value();
+  }
+  monitor_.Observe(signals);
+  record.urr = monitor_.last_urr();
+  record.cng = monitor_.last_cng_rate();
+  record.pre_streak = monitor_.prediction_streak();
+  record.pir = monitor_.last_pir();
+
+  record.precision = GroundingPrecision(grounding_, *db_);
+  record.effort = state_.Effort();
+  record.repairs = 0;
+  record.seconds = watch.ElapsedSeconds();
+  outcome->trace.push_back(record);
+  return true;
+}
+
+Status ValidationProcess::RunConfirmationCheck(ValidationOutcome* outcome,
+                                               IterationRecord* record) {
+  ConfirmationOptions options;
+  options.neighborhood_radius = options_.guidance.neighborhood_radius;
+  options.neighborhood_cap = options_.guidance.neighborhood_cap;
+  auto suspicious = FindSuspiciousLabels(icrf_, state_, options, &rng_);
+  if (!suspicious.ok()) return suspicious.status();
+
+  for (const ClaimId claim : suspicious.value()) {
+    if (confirmed_labels_.count(claim) != 0) continue;
+    const bool current = state_.label(claim) == ClaimLabel::kCredible;
+    const bool was_mistake =
+        db_->has_ground_truth(claim) && current != db_->ground_truth(claim);
+    if (was_mistake) ++outcome->mistakes_detected;
+
+    // The user reconsiders the flagged input; this costs effort (§8.5).
+    bool skipped = false;
+    const bool reconsidered = user_->Validate(*db_, claim, &skipped);
+    ++outcome->validations;
+    if (reconsidered != current) {
+      state_.SetLabel(claim, reconsidered);
+      confirmed_labels_.erase(claim);
+      ++outcome->mistakes_repaired;
+      ++record->repairs;
+    } else {
+      // Re-confirmed: stop second-guessing this label.
+      confirmed_labels_.insert(claim);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace veritas

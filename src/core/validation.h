@@ -1,0 +1,135 @@
+#ifndef VERITAS_CORE_VALIDATION_H_
+#define VERITAS_CORE_VALIDATION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batch.h"
+#include "core/confirmation.h"
+#include "core/grounding.h"
+#include "core/icrf.h"
+#include "core/strategy.h"
+#include "core/termination.h"
+#include "core/user_model.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Options of the complete validation process (Algorithm 1).
+struct ValidationOptions {
+  ICrfOptions icrf;
+  GuidanceConfig guidance;
+  StrategyKind strategy = StrategyKind::kHybrid;
+
+  /// Effort budget b: maximum number of validations (labels + repairs).
+  size_t budget = SIZE_MAX;
+  /// Validation goal Delta: stop once the grounding precision (measured
+  /// against ground truth, as in §8) reaches this value. Set above 1 to
+  /// disable and run on budget/termination alone.
+  double target_precision = 1.0;
+
+  /// Claims validated per iteration (k = 1 disables batching, §6.2).
+  size_t batch_size = 1;
+  double batch_benefit_weight = 1.0;
+
+  /// Confirmation check (§5.2): triggered every `confirmation_interval`
+  /// validations (0 disables). Flagged labels are re-elicited from the user
+  /// (a "repair", which costs additional effort, §8.5).
+  size_t confirmation_interval = 0;
+
+  /// Early-termination criteria (§6.1).
+  TerminationOptions termination;
+  /// When true, compute the entropy with the exact method where tractable
+  /// (matches GuidanceVariant::kOrigin); otherwise Eq. 13.
+  bool exact_entropy_trace = false;
+
+  uint64_t seed = 42;
+};
+
+/// Everything recorded about one iteration of Algorithm 1 (the raw series
+/// behind Figs. 3-9).
+struct IterationRecord {
+  size_t iteration = 0;
+  std::vector<ClaimId> claims;   ///< validated this iteration (batch >= 1)
+  std::vector<uint8_t> answers;  ///< user verdicts, parallel to `claims`
+  double seconds = 0.0;          ///< response time of the iteration (Fig. 2/3)
+  double entropy = 0.0;          ///< database uncertainty after inference
+  double precision = 0.0;        ///< grounding precision vs ground truth
+  double effort = 0.0;           ///< labelled fraction after this iteration
+  double error_rate = 0.0;       ///< epsilon_i (Eq. 22)
+  double z_score = 0.0;          ///< z_i (Eq. 23)
+  double unreliable_ratio = 0.0; ///< r_i
+  size_t repairs = 0;            ///< confirmation-check repairs
+  size_t skips = 0;              ///< user skips before a validation happened
+  bool prediction_matched = true;
+  double urr = 0.0;              ///< indicator values for Fig. 9
+  double cng = 0.0;
+  size_t pre_streak = 0;
+  double pir = 0.0;
+};
+
+/// Outcome of a validation run.
+struct ValidationOutcome {
+  BeliefState state;
+  Grounding grounding;
+  std::vector<IterationRecord> trace;
+  size_t validations = 0;     ///< user interactions spent (labels + repairs)
+  size_t mistakes_made = 0;   ///< labels disagreeing with ground truth
+  size_t mistakes_detected = 0;  ///< flagged by the confirmation check
+  size_t mistakes_repaired = 0;
+  std::string stop_reason;
+  double initial_precision = 0.0;
+  double final_precision = 0.0;
+};
+
+/// The complete validation process for fact checking (Algorithm 1, §5.1):
+/// iteratively selects claims (strategy of §4), elicits user input, runs
+/// iCRF inference, decides the grounding, and maintains the hybrid z-score,
+/// optional confirmation checks, batching and early termination.
+class ValidationProcess {
+ public:
+  /// `db` and `user` must outlive the process.
+  ValidationProcess(const FactDatabase* db, UserModel* user,
+                    const ValidationOptions& options);
+
+  /// Runs Algorithm 1 to completion and returns the outcome.
+  Result<ValidationOutcome> Run();
+
+  const ICrf& icrf() const { return icrf_; }
+
+ private:
+  /// One iteration (selection + elicitation + inference + grounding).
+  /// Returns false when no unlabeled claim remains.
+  Result<bool> Step(ValidationOutcome* outcome);
+
+  Status RunConfirmationCheck(ValidationOutcome* outcome,
+                              IterationRecord* record);
+
+  const FactDatabase* db_;
+  UserModel* user_;
+  ValidationOptions options_;
+  ICrf icrf_;
+  std::unique_ptr<SelectionStrategy> strategy_;
+  HybridControl* hybrid_ = nullptr;  // non-null for the hybrid strategy
+  std::shared_ptr<ThreadPool> batch_pool_;
+  BeliefState state_;
+  Grounding grounding_;
+  TerminationMonitor monitor_;
+  Rng rng_;
+  size_t iteration_ = 0;
+  double last_error_rate_ = 0.0;
+  size_t validations_since_confirmation_ = 0;
+  /// Labels the user already re-confirmed (flagged, re-elicited, unchanged).
+  /// They are not flagged again unless the label changes: without this, a
+  /// model that temporarily disagrees with a correct label would re-ask the
+  /// user every interval until the user eventually errs — a ratchet that
+  /// destroys correct labels.
+  std::set<ClaimId> confirmed_labels_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_VALIDATION_H_

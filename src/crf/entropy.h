@@ -1,0 +1,45 @@
+#ifndef VERITAS_CRF_ENTROPY_H_
+#define VERITAS_CRF_ENTROPY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "crf/mrf.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Linear-time approximate database entropy (Eq. 13): the sum of per-claim
+/// Bernoulli entropies. Labeled claims (probability 0 or 1) contribute 0.
+/// Neglects claim-claim dependencies, which is exactly the trade-off the
+/// paper's "scalable" variant makes.
+double ApproxDatabaseEntropy(const std::vector<double>& probs);
+
+/// Approximate entropy restricted to a subset of claims (used by the
+/// partition optimization: validating a claim can only change the entropy
+/// of its own connected neighborhood when weights are held fixed).
+double ApproxSubsetEntropy(const std::vector<double>& probs,
+                           const std::vector<ClaimId>& subset);
+
+/// Exact joint entropy of the label-conditioned MRF (Eq. 12): tries the
+/// polynomial-time tree path (sum-product / "Ising method") first and falls
+/// back to exact enumeration. Errors with FailedPrecondition when the graph
+/// is cyclic and too large to enumerate.
+Result<double> ExactDatabaseEntropy(const ClaimMrf& mrf, const BeliefState& state,
+                                    size_t max_enumeration_claims = 20);
+
+/// Per-claim marginal entropies (for the `uncertainty` baseline strategy).
+std::vector<double> MarginalEntropies(const std::vector<double>& probs);
+
+/// Exact joint entropy of one connected component of the MRF: extracts the
+/// component's sub-MRF and applies the tree / enumeration paths. Errors when
+/// the component is cyclic and has more unlabeled claims than
+/// `max_enumeration_claims`; callers then fall back to the approximation
+/// (the "exact where tractable" policy of the origin variant, §8.2).
+Result<double> ExactComponentEntropy(const ClaimMrf& mrf, const BeliefState& state,
+                                     const std::vector<ClaimId>& component,
+                                     size_t max_enumeration_claims = 20);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CRF_ENTROPY_H_

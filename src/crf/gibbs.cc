@@ -1,0 +1,135 @@
+#include "crf/gibbs.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/math.h"
+
+namespace veritas {
+
+SampleSet::SampleSet(std::vector<SpinConfig> samples)
+    : samples_(std::move(samples)) {}
+
+std::vector<double> SampleSet::Marginals(const BeliefState& state) const {
+  const size_t n = num_claims();
+  std::vector<double> marginals(n, 0.5);
+  if (samples_.empty()) return marginals;
+  std::vector<double> counts(n, 0.0);
+  for (const SpinConfig& sample : samples_) {
+    for (size_t c = 0; c < n; ++c) counts[c] += sample[c];
+  }
+  for (size_t c = 0; c < n; ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (c < state.num_claims() && state.IsLabeled(id)) {
+      marginals[c] = state.label(id) == ClaimLabel::kCredible ? 1.0 : 0.0;
+    } else {
+      marginals[c] = counts[c] / static_cast<double>(samples_.size());
+    }
+  }
+  return marginals;
+}
+
+SpinConfig SampleSet::ModeConfiguration() const {
+  if (samples_.empty()) return {};
+  std::unordered_map<std::string, size_t> frequency;
+  frequency.reserve(samples_.size() * 2);
+  const SpinConfig* best = nullptr;
+  size_t best_count = 0;
+  for (const SpinConfig& sample : samples_) {
+    const std::string key(sample.begin(), sample.end());
+    const size_t count = ++frequency[key];
+    if (count > best_count) {
+      best_count = count;
+      best = &sample;
+    }
+  }
+  if (best_count > 1) return *best;
+  // All samples distinct: per-claim majority.
+  const size_t n = num_claims();
+  SpinConfig majority(n, 0);
+  std::vector<size_t> counts(n, 0);
+  for (const SpinConfig& sample : samples_) {
+    for (size_t c = 0; c < n; ++c) counts[c] += sample[c];
+  }
+  for (size_t c = 0; c < n; ++c) {
+    majority[c] = counts[c] * 2 >= samples_.size() ? 1 : 0;
+  }
+  return majority;
+}
+
+Result<SampleSet> RunGibbs(const ClaimMrf& mrf, const BeliefState& state,
+                           const SpinConfig* warm_start,
+                           const std::vector<ClaimId>* restrict_claims,
+                           const GibbsOptions& options, Rng* rng,
+                           const FieldOverrides* field_overrides) {
+  const size_t n = mrf.num_claims();
+  if (state.num_claims() != n) {
+    return Status::InvalidArgument("RunGibbs: state size mismatch");
+  }
+  if (mrf.adjacency.size() != n) {
+    return Status::FailedPrecondition("RunGibbs: adjacency not built");
+  }
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("RunGibbs: num_samples must be positive");
+  }
+
+  // Initialize spins: labels are authoritative, then warm start, then the
+  // decoupled field distribution.
+  SpinConfig spins(n, 0);
+  for (size_t c = 0; c < n; ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (state.IsLabeled(id)) {
+      spins[c] = state.label(id) == ClaimLabel::kCredible ? 1 : 0;
+    } else if (warm_start != nullptr && c < warm_start->size()) {
+      spins[c] = (*warm_start)[c] != 0 ? 1 : 0;
+    } else {
+      spins[c] = rng->Bernoulli(Sigmoid(2.0 * mrf.field[c])) ? 1 : 0;
+    }
+  }
+
+  // Claims to resample each sweep.
+  std::vector<size_t> sweep_order;
+  if (restrict_claims != nullptr) {
+    sweep_order.reserve(restrict_claims->size());
+    for (const ClaimId id : *restrict_claims) {
+      if (id < n && !state.IsLabeled(id)) sweep_order.push_back(id);
+    }
+  } else {
+    sweep_order.reserve(n);
+    for (size_t c = 0; c < n; ++c) {
+      if (!state.IsLabeled(static_cast<ClaimId>(c))) sweep_order.push_back(c);
+    }
+  }
+
+  std::vector<double> fields(mrf.field);
+  if (field_overrides != nullptr) {
+    for (const auto& [claim, value] : *field_overrides) {
+      if (claim < n) fields[claim] = value;
+    }
+  }
+
+  auto sweep = [&]() {
+    for (const size_t c : sweep_order) {
+      double neighbor_term = 0.0;
+      for (const auto& [nbr, j] : mrf.adjacency[c]) {
+        neighbor_term += j * (spins[nbr] != 0 ? 1.0 : -1.0);
+      }
+      const double logit = 2.0 * (fields[c] + neighbor_term);
+      spins[c] = rng->Bernoulli(Sigmoid(logit)) ? 1 : 0;
+    }
+  };
+
+  for (size_t b = 0; b < options.burn_in; ++b) sweep();
+
+  std::vector<SpinConfig> samples;
+  samples.reserve(options.num_samples);
+  const size_t thin = std::max<size_t>(1, options.thin);
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    for (size_t t = 0; t < thin; ++t) sweep();
+    samples.push_back(spins);
+  }
+  return SampleSet(std::move(samples));
+}
+
+}  // namespace veritas

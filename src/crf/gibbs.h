@@ -1,0 +1,69 @@
+#ifndef VERITAS_CRF_GIBBS_H_
+#define VERITAS_CRF_GIBBS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crf/mrf.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Gibbs sampling options (E-step of iCRF, §3.2).
+struct GibbsOptions {
+  size_t burn_in = 15;      ///< sweeps discarded before collecting samples
+  size_t num_samples = 50;  ///< configurations retained
+  size_t thin = 1;          ///< sweeps between retained samples
+};
+
+/// A set of Gibbs configurations Omega (Eq. 6/7) plus derived statistics.
+class SampleSet {
+ public:
+  SampleSet() = default;
+  explicit SampleSet(std::vector<SpinConfig> samples);
+
+  const std::vector<SpinConfig>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  size_t num_claims() const { return samples_.empty() ? 0 : samples_[0].size(); }
+
+  /// Per-claim credibility estimates: the ratio of samples in which the
+  /// claim is credible (Eq. 7); labelled claims are fixed to their label.
+  std::vector<double> Marginals(const BeliefState& state) const;
+
+  /// The most frequent configuration (the decide() of Eq. 10). When every
+  /// sample is distinct — the typical case for large claim sets — falls
+  /// back to the per-claim majority configuration, which coincides with the
+  /// mode under weak coupling.
+  SpinConfig ModeConfiguration() const;
+
+ private:
+  std::vector<SpinConfig> samples_;
+};
+
+/// Runs Gibbs sampling over the unlabeled claims of the MRF; labelled claims
+/// stay clamped at their label. `warm_start` (optional) seeds the chain from
+/// a previous iteration's configuration — the view-maintenance idea that
+/// makes iCRF incremental. When null, spins are initialized by sampling the
+/// field-only (decoupled) distribution.
+///
+/// `restrict_claims` (optional) limits resampling to the given claim set;
+/// all other claims keep their initial spin. This implements the partition
+/// optimization (§5.1): hypothetical re-inference for guidance touches only
+/// the neighborhood of the probed claim.
+/// Optional per-claim replacement of the MRF field, applied on top of
+/// `mrf.field` without copying the model. Used by leave-one-out re-inference
+/// (§5.2, §6.1), where the carried-over prior of the very label under
+/// scrutiny must not anchor the chain.
+using FieldOverrides = std::vector<std::pair<ClaimId, double>>;
+
+Result<SampleSet> RunGibbs(const ClaimMrf& mrf, const BeliefState& state,
+                           const SpinConfig* warm_start,
+                           const std::vector<ClaimId>* restrict_claims,
+                           const GibbsOptions& options, Rng* rng,
+                           const FieldOverrides* field_overrides = nullptr);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CRF_GIBBS_H_

@@ -1,0 +1,84 @@
+#ifndef VERITAS_CRF_MRF_H_
+#define VERITAS_CRF_MRF_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Pairwise binary Markov random field over claims, the reduced form of the
+/// paper's CRF (§3.1) once source and document variables are observed:
+///
+///   log m(t) = sum_c field[c] * t_c + sum_{(c,c')} J_{cc'} * t_c * t_{c'}
+///
+/// with spins t_c in {-1, +1} (t_c = +1 meaning "credible"). `field[c]`
+/// aggregates the stance-signed log-linear clique scores of claim c plus the
+/// prior carried over from the previous EM iteration (the Pr^{l-1}(c) factor
+/// of Eq. 6). Couplings J arise from cliques of a shared source: a source
+/// taking stances sigma, sigma' on claims c, c' contributes
+/// J += coupling * sigma * sigma' / (n_s - 1), which rewards configurations
+/// in which the source is consistently right or consistently wrong — the
+/// paper's indirect relation. This is an Ising model with external field,
+/// matching the "Ising methods" the paper invokes for exact entropy (§4.1).
+struct ClaimMrf {
+  /// Per-claim external field (log-odds contribution of t_c = +1 vs -1 is
+  /// 2 * field[c]).
+  std::vector<double> field;
+
+  /// Unique undirected edges (a < b) with coupling strength.
+  struct Edge {
+    ClaimId a;
+    ClaimId b;
+    double j;
+  };
+  std::vector<Edge> edges;
+
+  /// Per-claim adjacency: (neighbor, coupling), mirroring `edges`.
+  std::vector<std::vector<std::pair<ClaimId, double>>> adjacency;
+
+  size_t num_claims() const { return field.size(); }
+
+  /// Rebuilds `adjacency` from `edges` (call after editing edges directly).
+  void RebuildAdjacency();
+};
+
+/// A full configuration assigns every claim a spin; stored as 0/1 values.
+using SpinConfig = std::vector<uint8_t>;
+
+/// Unnormalized log measure log m(t) of a configuration (labels included;
+/// callers clamp labeled claims beforehand).
+double LogMeasure(const ClaimMrf& mrf, const SpinConfig& config);
+
+/// Exact quantities by enumeration over the unlabeled claims (labeled claims
+/// are clamped to their BeliefState value). All error with FailedPrecondition
+/// when more than `max_free` claims are unlabeled (default 2^20 states).
+struct ExactInferenceResult {
+  double log_partition = 0.0;
+  std::vector<double> marginals;  ///< P(t_c = +1) per claim (labeled: 0/1)
+  double entropy = 0.0;           ///< joint Shannon entropy (natural log)
+};
+
+Result<ExactInferenceResult> ExactInference(const ClaimMrf& mrf,
+                                            const BeliefState& state,
+                                            size_t max_free = 20);
+
+/// Sum-product belief propagation for acyclic (forest) MRFs: exact node
+/// marginals, edge marginals, log partition function and joint entropy in
+/// linear time — the polynomial-time exact path of Eq. 12. Errors with
+/// FailedPrecondition when the (label-reduced) graph contains a cycle.
+struct TreeInferenceResult {
+  double log_partition = 0.0;
+  std::vector<double> marginals;  ///< P(t_c = +1) per claim
+  double entropy = 0.0;
+};
+
+Result<TreeInferenceResult> TreeSumProduct(const ClaimMrf& mrf,
+                                           const BeliefState& state);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CRF_MRF_H_

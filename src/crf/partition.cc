@@ -1,0 +1,52 @@
+#include "crf/partition.h"
+
+#include "graph/graph.h"
+
+namespace veritas {
+
+ClaimPartition PartitionClaims(const FactDatabase& db) {
+  const size_t n = db.num_claims();
+  UnionFind uf(n);
+  for (size_t s = 0; s < db.num_sources(); ++s) {
+    const auto& claims = db.SourceClaims(static_cast<SourceId>(s));
+    for (size_t i = 1; i < claims.size(); ++i) uf.Union(claims[0], claims[i]);
+  }
+  ClaimPartition partition;
+  partition.component_of.assign(n, 0);
+  std::vector<size_t> remap(n, SIZE_MAX);
+  size_t next = 0;
+  for (size_t c = 0; c < n; ++c) {
+    const size_t root = uf.Find(c);
+    if (remap[root] == SIZE_MAX) {
+      remap[root] = next++;
+      partition.members.emplace_back();
+    }
+    partition.component_of[c] = remap[root];
+    partition.members[remap[root]].push_back(static_cast<ClaimId>(c));
+  }
+  return partition;
+}
+
+std::vector<ClaimId> CouplingNeighborhood(const ClaimMrf& mrf, ClaimId center,
+                                          size_t radius, size_t max_claims) {
+  std::vector<ClaimId> result;
+  if (center >= mrf.num_claims() || max_claims == 0) return result;
+  std::vector<uint8_t> seen(mrf.num_claims(), 0);
+  std::vector<std::pair<ClaimId, size_t>> queue{{center, 0}};
+  seen[center] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [node, depth] = queue[head];
+    result.push_back(node);
+    if (result.size() >= max_claims) break;
+    if (depth >= radius) continue;
+    for (const auto& [nbr, j] : mrf.adjacency[node]) {
+      (void)j;
+      if (seen[nbr]) continue;
+      seen[nbr] = 1;
+      queue.emplace_back(nbr, depth + 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace veritas

@@ -1,0 +1,34 @@
+#ifndef VERITAS_CRF_PARTITION_H_
+#define VERITAS_CRF_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "crf/mrf.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Connected components of the claim coupling graph (§5.1 graph
+/// partitioning): claims are connected when they share a source.
+struct ClaimPartition {
+  std::vector<size_t> component_of;            ///< per claim
+  std::vector<std::vector<ClaimId>> members;   ///< per component
+  size_t num_components() const { return members.size(); }
+};
+
+/// Computes the partition from the database's source-claim relations.
+ClaimPartition PartitionClaims(const FactDatabase& db);
+
+/// Bounded breadth-first neighborhood of `center` in the MRF's coupling
+/// graph: all claims within `radius` hops, capped at `max_claims` (the
+/// center always included). This is the locality used by hypothetical
+/// re-inference during guidance; with fixed weights, validating a claim
+/// cannot influence claims outside its component, and in practice the
+/// effect decays with hop distance.
+std::vector<ClaimId> CouplingNeighborhood(const ClaimMrf& mrf, ClaimId center,
+                                          size_t radius, size_t max_claims);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CRF_PARTITION_H_

@@ -1,0 +1,106 @@
+#include "crowd/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/math.h"
+
+namespace veritas {
+
+namespace {
+
+/// Groups response indices by claim, preserving claim order of first
+/// appearance sorted by id for determinism.
+std::map<ClaimId, std::vector<size_t>> GroupByClaim(
+    const std::vector<WorkerResponse>& responses) {
+  std::map<ClaimId, std::vector<size_t>> groups;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    groups[responses[i].claim].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<Consensus> MajorityVote(const std::vector<WorkerResponse>& responses,
+                               size_t num_workers) {
+  if (responses.empty()) {
+    return Status::InvalidArgument("MajorityVote: no responses");
+  }
+  Consensus consensus;
+  consensus.worker_accuracy.assign(num_workers, 0.5);
+  for (const auto& [claim, indices] : GroupByClaim(responses)) {
+    size_t positive = 0;
+    for (const size_t i : indices) positive += responses[i].answer ? 1 : 0;
+    consensus.claims.push_back(claim);
+    consensus.answers.push_back(positive * 2 >= indices.size());
+    consensus.confidences.push_back(static_cast<double>(positive) /
+                                    static_cast<double>(indices.size()));
+  }
+  return consensus;
+}
+
+Result<Consensus> DawidSkene(const std::vector<WorkerResponse>& responses,
+                             size_t num_workers,
+                             const DawidSkeneOptions& options) {
+  if (responses.empty()) {
+    return Status::InvalidArgument("DawidSkene: no responses");
+  }
+  for (const auto& response : responses) {
+    if (response.worker >= num_workers) {
+      return Status::OutOfRange("DawidSkene: worker index out of range");
+    }
+  }
+  const auto groups = GroupByClaim(responses);
+
+  // Posterior P(claim credible) per claim, initialized by vote fractions.
+  std::map<ClaimId, double> posterior;
+  for (const auto& [claim, indices] : groups) {
+    size_t positive = 0;
+    for (const size_t i : indices) positive += responses[i].answer ? 1 : 0;
+    posterior[claim] =
+        static_cast<double>(positive) / static_cast<double>(indices.size());
+  }
+  std::vector<double> accuracy(num_workers, options.prior_accuracy);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // M-step: re-estimate worker reliability from soft agreement.
+    std::vector<double> agree(num_workers, options.smoothing);
+    std::vector<double> total(num_workers, 2.0 * options.smoothing);
+    for (const auto& response : responses) {
+      const double p = posterior[response.claim];
+      agree[response.worker] += response.answer ? p : 1.0 - p;
+      total[response.worker] += 1.0;
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      accuracy[w] = std::clamp(agree[w] / total[w], 0.05, 0.95);
+    }
+
+    // E-step: recompute posteriors under the one-coin model.
+    double max_change = 0.0;
+    for (const auto& [claim, indices] : groups) {
+      double log_pos = 0.0;  // log odds for "credible"
+      for (const size_t i : indices) {
+        const double a = accuracy[responses[i].worker];
+        const double log_ratio = std::log(a / (1.0 - a));
+        log_pos += responses[i].answer ? log_ratio : -log_ratio;
+      }
+      const double updated = Sigmoid(log_pos);
+      max_change = std::max(max_change, std::fabs(updated - posterior[claim]));
+      posterior[claim] = updated;
+    }
+    if (max_change < options.tolerance) break;
+  }
+
+  Consensus consensus;
+  consensus.worker_accuracy = accuracy;
+  for (const auto& [claim, p] : posterior) {
+    consensus.claims.push_back(claim);
+    consensus.answers.push_back(p >= 0.5);
+    consensus.confidences.push_back(p);
+  }
+  return consensus;
+}
+
+}  // namespace veritas

@@ -1,0 +1,42 @@
+#ifndef VERITAS_CROWD_AGGREGATION_H_
+#define VERITAS_CROWD_AGGREGATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "crowd/worker.h"
+
+namespace veritas {
+
+/// Consensus of a set of responses per claim.
+struct Consensus {
+  std::vector<ClaimId> claims;      ///< claims with at least one response
+  std::vector<bool> answers;        ///< consensus answer per claim
+  std::vector<double> confidences;  ///< posterior confidence per claim
+  std::vector<double> worker_accuracy;  ///< estimated reliability per worker
+};
+
+/// Simple majority vote (ties resolve to "credible").
+Result<Consensus> MajorityVote(const std::vector<WorkerResponse>& responses,
+                               size_t num_workers);
+
+/// Options for Dawid-Skene EM aggregation.
+struct DawidSkeneOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-6;      ///< convergence on max posterior change
+  double prior_accuracy = 0.7;  ///< initial worker reliability
+  double smoothing = 1.0;       ///< Laplace smoothing of accuracy estimates
+};
+
+/// Dawid-Skene style EM consensus with symmetric per-worker accuracy
+/// (one-coin model): alternates posterior estimation of the true labels
+/// with worker-reliability re-estimation. This is the "existing algorithms
+/// that include an evaluation of worker reliability" used for the crowd arm
+/// of Table 3 (following Hung et al., WISE 2013).
+Result<Consensus> DawidSkene(const std::vector<WorkerResponse>& responses,
+                             size_t num_workers,
+                             const DawidSkeneOptions& options = {});
+
+}  // namespace veritas
+
+#endif  // VERITAS_CROWD_AGGREGATION_H_

@@ -1,0 +1,34 @@
+#include "crowd/worker.h"
+
+#include <cmath>
+
+namespace veritas {
+
+WorkerResponse DrawResponse(const WorkerModel& worker, size_t worker_index,
+                            ClaimId claim, bool truth, Rng* rng) {
+  WorkerResponse response;
+  response.worker = worker_index;
+  response.claim = claim;
+  response.answer = rng->Bernoulli(worker.accuracy) ? truth : !truth;
+  // Log-normal response time calibrated so the mean matches mean_seconds.
+  const double sigma = worker.time_spread;
+  const double mu = std::log(worker.mean_seconds) - 0.5 * sigma * sigma;
+  response.seconds = std::exp(mu + sigma * rng->Normal());
+  return response;
+}
+
+std::vector<WorkerResponse> CollectResponses(const std::vector<WorkerModel>& panel,
+                                             const std::vector<ClaimId>& claims,
+                                             const FactDatabase& db, Rng* rng) {
+  std::vector<WorkerResponse> responses;
+  responses.reserve(panel.size() * claims.size());
+  for (size_t w = 0; w < panel.size(); ++w) {
+    for (const ClaimId claim : claims) {
+      const bool truth = db.has_ground_truth(claim) && db.ground_truth(claim);
+      responses.push_back(DrawResponse(panel[w], w, claim, truth, rng));
+    }
+  }
+  return responses;
+}
+
+}  // namespace veritas

@@ -1,0 +1,45 @@
+#ifndef VERITAS_CROWD_WORKER_H_
+#define VERITAS_CROWD_WORKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// A simulated validator (§8.9): answers claim-validation tasks with a
+/// per-worker accuracy and a log-normal-ish response-time model. Experts are
+/// instances with high accuracy and high latency; crowd workers are faster
+/// but noisier. The real study used three senior computer scientists and a
+/// FigureEight deployment; this simulator reproduces the accuracy/latency
+/// trade-off those populations exhibit (Table 3).
+struct WorkerModel {
+  std::string name;
+  double accuracy = 0.85;       ///< probability of answering correctly
+  double mean_seconds = 300.0;  ///< mean response time per claim
+  double time_spread = 0.35;    ///< lognormal sigma of the response time
+};
+
+/// One answered validation task.
+struct WorkerResponse {
+  size_t worker = 0;
+  ClaimId claim = 0;
+  bool answer = false;
+  double seconds = 0.0;
+};
+
+/// Draws a response of `worker` for `claim` given the ground truth.
+WorkerResponse DrawResponse(const WorkerModel& worker, size_t worker_index,
+                            ClaimId claim, bool truth, Rng* rng);
+
+/// Collects one response per (worker, claim) pair for a panel of workers.
+std::vector<WorkerResponse> CollectResponses(const std::vector<WorkerModel>& panel,
+                                             const std::vector<ClaimId>& claims,
+                                             const FactDatabase& db, Rng* rng);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CROWD_WORKER_H_

@@ -1,0 +1,233 @@
+#include "data/emulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/centrality.h"
+#include "graph/generator.h"
+#include "text/language_model.h"
+#include "text/synthesis.h"
+
+namespace veritas {
+
+CorpusSpec WikipediaSpec() {
+  CorpusSpec spec;
+  spec.name = "wiki";
+  spec.num_sources = 1955;
+  spec.num_documents = 3228;
+  spec.num_claims = 157;
+  spec.truth_prevalence = 0.48;
+  spec.adversarial_fraction = 0.25;
+  spec.mentions_per_document = 1.4;
+  return spec;
+}
+
+CorpusSpec HealthSpec() {
+  CorpusSpec spec;
+  spec.name = "health";
+  spec.num_sources = 11206;
+  spec.num_documents = 48083;
+  spec.num_claims = 529;
+  spec.truth_prevalence = 0.55;
+  spec.adversarial_fraction = 0.35;  // forum users are noisier than websites
+  spec.stance_fidelity = 0.85;
+  spec.mentions_per_document = 1.3;
+  return spec;
+}
+
+CorpusSpec SnopesSpec() {
+  CorpusSpec spec;
+  spec.name = "snopes";
+  spec.num_sources = 23260;
+  spec.num_documents = 80421;
+  spec.num_claims = 4856;
+  spec.truth_prevalence = 0.5;
+  spec.adversarial_fraction = 0.3;
+  spec.mentions_per_document = 1.6;
+  return spec;
+}
+
+std::vector<CorpusSpec> PaperSpecs(double scale) {
+  std::vector<CorpusSpec> specs{WikipediaSpec(), HealthSpec(), SnopesSpec()};
+  if (scale != 1.0) {
+    for (auto& spec : specs) spec = Scaled(spec, scale);
+  }
+  return specs;
+}
+
+CorpusSpec Scaled(const CorpusSpec& spec, double factor) {
+  CorpusSpec scaled = spec;
+  auto apply = [factor](size_t count, size_t floor_value) {
+    const double scaled_count = static_cast<double>(count) * factor;
+    return std::max(floor_value, static_cast<size_t>(std::llround(scaled_count)));
+  };
+  scaled.num_sources = apply(spec.num_sources, 10);
+  scaled.num_documents = apply(spec.num_documents, 24);
+  scaled.num_claims = apply(spec.num_claims, 12);
+  return scaled;
+}
+
+namespace {
+
+/// Percentile ranks in [0, 1] of the given values (average rank for ties
+/// is not needed; values from centrality scores are effectively distinct).
+std::vector<double> PercentileRanks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size(), 0.0);
+  const double denom = std::max<size_t>(1, values.size() - 1);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    ranks[order[pos]] = static_cast<double>(pos) / denom;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<EmulatedCorpus> GenerateCorpus(const CorpusSpec& spec, Rng* rng) {
+  if (spec.num_sources == 0 || spec.num_documents == 0 || spec.num_claims == 0) {
+    return Status::InvalidArgument("GenerateCorpus: counts must be positive");
+  }
+  const double expected_mentions =
+      static_cast<double>(spec.num_documents) * spec.mentions_per_document;
+  if (expected_mentions < static_cast<double>(spec.num_claims)) {
+    return Status::InvalidArgument(
+        "GenerateCorpus: not enough document mentions to cover every claim");
+  }
+
+  EmulatedCorpus corpus;
+  corpus.name = spec.name;
+
+  // --- Sources: latent reliability + feature extraction. ---------------------
+  corpus.source_reliability.resize(spec.num_sources);
+  for (double& r : corpus.source_reliability) {
+    const bool adversarial = rng->Bernoulli(spec.adversarial_fraction);
+    r = adversarial ? rng->BetaSample(spec.bad_alpha, spec.bad_beta)
+                    : rng->BetaSample(spec.good_alpha, spec.good_beta);
+  }
+
+  WebGraphOptions web_options;
+  web_options.num_nodes = spec.num_sources;
+  web_options.edges_per_node = spec.web_out_links;
+  auto web = GenerateWebGraph(web_options, rng);
+  if (!web.ok()) return web.status();
+  auto pagerank = PageRank(web.value());
+  if (!pagerank.ok()) return pagerank.status();
+  auto hits = Hits(web.value());
+  if (!hits.ok()) return hits.status();
+  const std::vector<double> centrality_pct = PercentileRanks(pagerank.value());
+  const std::vector<double> authority_pct = PercentileRanks(hits.value().authorities);
+
+  std::vector<double> activity(spec.num_sources);
+  for (size_t s = 0; s < spec.num_sources; ++s) {
+    activity[s] = 1.0 + rng->Poisson(3.0 + 12.0 * corpus.source_reliability[s]);
+  }
+  const double max_activity = *std::max_element(activity.begin(), activity.end());
+
+  for (size_t s = 0; s < spec.num_sources; ++s) {
+    const double r = corpus.source_reliability[s];
+    Source source;
+    source.name = spec.name + "-src-" + std::to_string(s);
+    source.features = {
+        std::clamp(r + rng->Normal(0.0, spec.feature_noise), 0.0, 1.0),
+        centrality_pct[s],
+        authority_pct[s],
+        std::log1p(activity[s]) / std::log1p(max_activity),
+        std::clamp(0.3 + 0.4 * r + rng->Normal(0.0, spec.feature_noise), 0.0, 1.0),
+    };
+    corpus.db.AddSource(std::move(source));
+  }
+
+  // --- Documents: source attribution + latent quality + language features. ---
+  LanguageFeatureModel language_model(spec.feature_noise);
+  corpus.document_quality.resize(spec.num_documents);
+  // Busier sources author more documents.
+  std::vector<double> cumulative_activity(spec.num_sources);
+  std::partial_sum(activity.begin(), activity.end(), cumulative_activity.begin());
+  const double activity_total = cumulative_activity.back();
+  for (size_t d = 0; d < spec.num_documents; ++d) {
+    const double target = rng->Uniform() * activity_total;
+    const size_t s = static_cast<size_t>(
+        std::upper_bound(cumulative_activity.begin(), cumulative_activity.end(),
+                         target) -
+        cumulative_activity.begin());
+    const SourceId source = static_cast<SourceId>(std::min(s, spec.num_sources - 1));
+    const double r = corpus.source_reliability[source];
+    const double base = rng->BetaSample(2.0, 2.0);
+    const double quality = std::clamp(
+        spec.quality_coupling * r + (1.0 - spec.quality_coupling) * base +
+            rng->Normal(0.0, spec.feature_noise * 0.5),
+        0.0, 1.0);
+    corpus.document_quality[d] = quality;
+    Document document;
+    document.source = source;
+    if (spec.synthesize_text) {
+      const std::string text = SynthesizeDocumentText(quality, {}, rng);
+      document.features = ExtractDocumentFeatures(text);
+      if (corpus.sample_texts.size() < 5) corpus.sample_texts.push_back(text);
+    } else {
+      document.features = language_model.Generate(quality, rng);
+    }
+    corpus.db.AddDocument(std::move(document));
+  }
+
+  // --- Claims: ground truth. --------------------------------------------------
+  for (size_t c = 0; c < spec.num_claims; ++c) {
+    Claim claim;
+    claim.text = spec.name + "-claim-" + std::to_string(c);
+    const ClaimId id = corpus.db.AddClaim(std::move(claim));
+    corpus.db.SetGroundTruth(id, rng->Bernoulli(spec.truth_prevalence));
+  }
+
+  // --- Mentions: coverage pass + Zipf-skewed popularity pass. -----------------
+  auto draw_stance = [&](ClaimId claim, DocumentId document) {
+    const double r = corpus.source_reliability[corpus.db.document(document).source];
+    const double q = corpus.document_quality[document];
+    const double mix = 0.75 * r + 0.25 * q;
+    const double p_correct =
+        (1.0 - spec.stance_fidelity) + (2.0 * spec.stance_fidelity - 1.0) * mix;
+    const bool correct = rng->Bernoulli(p_correct);
+    const bool truth = corpus.db.ground_truth(claim);
+    const bool support = correct ? truth : !truth;
+    return support ? Stance::kSupport : Stance::kRefute;
+  };
+
+  // Every claim gets at least one mention so that inference has evidence.
+  for (size_t c = 0; c < spec.num_claims; ++c) {
+    const DocumentId d = static_cast<DocumentId>(rng->UniformInt(spec.num_documents));
+    const ClaimId claim = static_cast<ClaimId>(c);
+    VERITAS_RETURN_IF_ERROR(corpus.db.AddMention(d, claim, draw_stance(claim, d)));
+  }
+
+  // Zipf-skewed popularity over a shuffled claim order.
+  std::vector<size_t> popularity_order(spec.num_claims);
+  std::iota(popularity_order.begin(), popularity_order.end(), size_t{0});
+  rng->Shuffle(&popularity_order);
+  std::vector<double> cumulative_weight(spec.num_claims);
+  double weight_sum = 0.0;
+  for (size_t rank = 0; rank < spec.num_claims; ++rank) {
+    weight_sum += 1.0 / std::pow(static_cast<double>(rank + 1), spec.zipf_exponent);
+    cumulative_weight[rank] = weight_sum;
+  }
+
+  const size_t remaining = static_cast<size_t>(std::max(
+      0.0, expected_mentions - static_cast<double>(spec.num_claims)));
+  for (size_t m = 0; m < remaining; ++m) {
+    const DocumentId d = static_cast<DocumentId>(rng->UniformInt(spec.num_documents));
+    const double target = rng->Uniform() * weight_sum;
+    const size_t rank = static_cast<size_t>(
+        std::upper_bound(cumulative_weight.begin(), cumulative_weight.end(), target) -
+        cumulative_weight.begin());
+    const ClaimId claim = static_cast<ClaimId>(
+        popularity_order[std::min(rank, spec.num_claims - 1)]);
+    VERITAS_RETURN_IF_ERROR(corpus.db.AddMention(d, claim, draw_stance(claim, d)));
+  }
+
+  VERITAS_RETURN_IF_ERROR(corpus.db.Validate());
+  return corpus;
+}
+
+}  // namespace veritas

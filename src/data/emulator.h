@@ -1,0 +1,89 @@
+#ifndef VERITAS_DATA_EMULATOR_H_
+#define VERITAS_DATA_EMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Generative parameters of a corpus emulator. The three presets below are
+/// matched to the published statistics of the paper's datasets (§8.1); the
+/// real dumps (MPI tarballs, healthboards.com) are not available offline, so
+/// we emulate corpora with the same structure: source/document/claim counts,
+/// a reliable/adversarial source mix, heavy-tailed claim popularity, and
+/// stance noise that decreases with source reliability and document quality.
+struct CorpusSpec {
+  std::string name = "corpus";
+  size_t num_sources = 100;
+  size_t num_documents = 300;
+  size_t num_claims = 40;
+
+  /// Fraction of claims whose ground truth is "credible".
+  double truth_prevalence = 0.5;
+  /// Fraction of sources drawn from the unreliable reliability prior.
+  double adversarial_fraction = 0.3;
+  /// Beta prior of reliable sources (mean ~0.8).
+  double good_alpha = 8.0, good_beta = 2.0;
+  /// Beta prior of unreliable sources (mean ~0.25).
+  double bad_alpha = 2.0, bad_beta = 6.0;
+  /// Weight of source reliability in a document's latent language quality.
+  double quality_coupling = 0.6;
+  /// Observation noise of source/document features.
+  double feature_noise = 0.12;
+  /// Probability that a fully reliable source takes the correct stance;
+  /// a fully unreliable one takes it with probability 1 - stance_fidelity.
+  double stance_fidelity = 0.9;
+  /// Mean number of claims a document mentions (>= 1).
+  double mentions_per_document = 1.6;
+  /// Skew of the claim-popularity distribution (0 = uniform).
+  double zipf_exponent = 0.8;
+  /// Out-links per node in the synthetic source hyperlink graph.
+  size_t web_out_links = 3;
+  /// When set, document features are produced by the full text pipeline:
+  /// synthesize document text from the latent quality, then extract the
+  /// linguistic features by lexicon matching (src/text/synthesis.h) — the
+  /// shape of the paper's actual feature extraction. When unset (default),
+  /// features are sampled directly from the generative feature model,
+  /// which is faster and statistically equivalent.
+  bool synthesize_text = false;
+};
+
+/// Wikipedia hoaxes corpus (§8.1): 1955 sources, 3228 documents, 157 claims.
+CorpusSpec WikipediaSpec();
+/// Healthcare forum corpus (§8.1): 11206 users, 48083 documents, 529 claims.
+CorpusSpec HealthSpec();
+/// Snopes corpus (§8.1): 23260 sources, 80421 documents, 4856 claims.
+CorpusSpec SnopesSpec();
+
+/// Returns the three paper corpora in presentation order (wiki, health,
+/// snopes), optionally scaled.
+std::vector<CorpusSpec> PaperSpecs(double scale = 1.0);
+
+/// Scales the corpus size by `factor`, keeping densities (mentions per
+/// document, adversarial mix) fixed. Floors prevent degenerate corpora.
+CorpusSpec Scaled(const CorpusSpec& spec, double factor);
+
+/// An emulated corpus: the fact database plus the latent variables that
+/// generated it. Latents are exposed for tests and diagnostics only; the
+/// inference pipeline never reads them.
+struct EmulatedCorpus {
+  std::string name;
+  FactDatabase db;
+  std::vector<double> source_reliability;  ///< latent r_s in [0, 1]
+  std::vector<double> document_quality;    ///< latent q_d in [0, 1]
+  /// A handful of synthesized document texts (synthesize_text corpora only),
+  /// kept for display/debugging.
+  std::vector<std::string> sample_texts;
+};
+
+/// Generates a corpus from the spec. Errors when the spec is inconsistent
+/// (zero counts, or too few document mentions to cover every claim).
+Result<EmulatedCorpus> GenerateCorpus(const CorpusSpec& spec, Rng* rng);
+
+}  // namespace veritas
+
+#endif  // VERITAS_DATA_EMULATOR_H_

@@ -1,0 +1,183 @@
+#include "data/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace veritas {
+
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, '\t')) fields.push_back(field);
+  return fields;
+}
+
+Status ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) {
+    return Status::InvalidArgument("ParseDouble: not a number: " + text);
+  }
+  return Status::OK();
+}
+
+Status ParseIndex(const std::string& text, size_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    return Status::InvalidArgument("ParseIndex: not an index: " + text);
+  }
+  *out = static_cast<size_t>(value);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveFactDatabase(const FactDatabase& db, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("SaveFactDatabase: cannot create directory " + directory);
+  }
+
+  {
+    std::ofstream out(directory + "/sources.tsv");
+    if (!out) return Status::Internal("SaveFactDatabase: cannot open sources.tsv");
+    for (size_t s = 0; s < db.num_sources(); ++s) {
+      const Source& source = db.source(static_cast<SourceId>(s));
+      out << s << '\t' << source.name;
+      for (double f : source.features) out << '\t' << f;
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out(directory + "/documents.tsv");
+    if (!out) return Status::Internal("SaveFactDatabase: cannot open documents.tsv");
+    for (size_t d = 0; d < db.num_documents(); ++d) {
+      const Document& document = db.document(static_cast<DocumentId>(d));
+      out << d << '\t' << document.source;
+      for (double f : document.features) out << '\t' << f;
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out(directory + "/claims.tsv");
+    if (!out) return Status::Internal("SaveFactDatabase: cannot open claims.tsv");
+    for (size_t c = 0; c < db.num_claims(); ++c) {
+      const ClaimId id = static_cast<ClaimId>(c);
+      out << c << '\t' << db.claim(id).text << '\t';
+      if (db.has_ground_truth(id)) {
+        out << (db.ground_truth(id) ? '1' : '0');
+      } else {
+        out << '?';
+      }
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out(directory + "/mentions.tsv");
+    if (!out) return Status::Internal("SaveFactDatabase: cannot open mentions.tsv");
+    for (const Clique& clique : db.cliques()) {
+      out << clique.document << '\t' << clique.claim << '\t'
+          << (clique.stance == Stance::kSupport ? "support" : "refute") << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Result<FactDatabase> LoadFactDatabase(const std::string& directory) {
+  FactDatabase db;
+  {
+    std::ifstream in(directory + "/sources.tsv");
+    if (!in) return Status::NotFound("LoadFactDatabase: missing sources.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() < 2) {
+        return Status::InvalidArgument("LoadFactDatabase: bad source row");
+      }
+      Source source;
+      source.name = fields[1];
+      for (size_t i = 2; i < fields.size(); ++i) {
+        double value = 0.0;
+        VERITAS_RETURN_IF_ERROR(ParseDouble(fields[i], &value));
+        source.features.push_back(value);
+      }
+      db.AddSource(std::move(source));
+    }
+  }
+  {
+    std::ifstream in(directory + "/documents.tsv");
+    if (!in) return Status::NotFound("LoadFactDatabase: missing documents.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() < 2) {
+        return Status::InvalidArgument("LoadFactDatabase: bad document row");
+      }
+      Document document;
+      size_t source = 0;
+      VERITAS_RETURN_IF_ERROR(ParseIndex(fields[1], &source));
+      if (source >= db.num_sources()) {
+        return Status::OutOfRange("LoadFactDatabase: document references bad source");
+      }
+      document.source = static_cast<SourceId>(source);
+      for (size_t i = 2; i < fields.size(); ++i) {
+        double value = 0.0;
+        VERITAS_RETURN_IF_ERROR(ParseDouble(fields[i], &value));
+        document.features.push_back(value);
+      }
+      db.AddDocument(std::move(document));
+    }
+  }
+  {
+    std::ifstream in(directory + "/claims.tsv");
+    if (!in) return Status::NotFound("LoadFactDatabase: missing claims.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() < 3) {
+        return Status::InvalidArgument("LoadFactDatabase: bad claim row");
+      }
+      Claim claim;
+      claim.text = fields[1];
+      const ClaimId id = db.AddClaim(std::move(claim));
+      if (fields[2] == "0") {
+        db.SetGroundTruth(id, false);
+      } else if (fields[2] == "1") {
+        db.SetGroundTruth(id, true);
+      }
+    }
+  }
+  {
+    std::ifstream in(directory + "/mentions.tsv");
+    if (!in) return Status::NotFound("LoadFactDatabase: missing mentions.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = SplitTabs(line);
+      if (fields.size() < 3) {
+        return Status::InvalidArgument("LoadFactDatabase: bad mention row");
+      }
+      size_t document = 0;
+      size_t claim = 0;
+      VERITAS_RETURN_IF_ERROR(ParseIndex(fields[0], &document));
+      VERITAS_RETURN_IF_ERROR(ParseIndex(fields[1], &claim));
+      const Stance stance =
+          fields[2] == "refute" ? Stance::kRefute : Stance::kSupport;
+      VERITAS_RETURN_IF_ERROR(db.AddMention(static_cast<DocumentId>(document),
+                                            static_cast<ClaimId>(claim), stance));
+    }
+  }
+  VERITAS_RETURN_IF_ERROR(db.Validate());
+  return db;
+}
+
+}  // namespace veritas

@@ -1,0 +1,24 @@
+#ifndef VERITAS_DATA_IO_H_
+#define VERITAS_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Serializes a fact database to a directory of TSV files:
+///   sources.tsv    id, name, feature columns
+///   documents.tsv  id, source, feature columns
+///   claims.tsv     id, text, ground-truth flag ("?", "0", "1")
+///   mentions.tsv   document, claim, stance ("support" / "refute")
+/// The directory is created when missing. Existing files are overwritten.
+Status SaveFactDatabase(const FactDatabase& db, const std::string& directory);
+
+/// Loads a fact database previously written by SaveFactDatabase.
+Result<FactDatabase> LoadFactDatabase(const std::string& directory);
+
+}  // namespace veritas
+
+#endif  // VERITAS_DATA_IO_H_

@@ -1,0 +1,129 @@
+#include "data/model.h"
+
+#include <algorithm>
+
+namespace veritas {
+
+SourceId FactDatabase::AddSource(Source source) {
+  sources_.push_back(std::move(source));
+  source_claims_.emplace_back();
+  return static_cast<SourceId>(sources_.size() - 1);
+}
+
+DocumentId FactDatabase::AddDocument(Document document) {
+  documents_.push_back(std::move(document));
+  return static_cast<DocumentId>(documents_.size() - 1);
+}
+
+ClaimId FactDatabase::AddClaim(Claim claim) {
+  claims_.push_back(std::move(claim));
+  claim_cliques_.emplace_back();
+  truth_known_.push_back(0);
+  truth_value_.push_back(0);
+  return static_cast<ClaimId>(claims_.size() - 1);
+}
+
+Status FactDatabase::AddMention(DocumentId document, ClaimId claim, Stance stance) {
+  if (document >= documents_.size()) {
+    return Status::OutOfRange("AddMention: document id out of range");
+  }
+  if (claim >= claims_.size()) {
+    return Status::OutOfRange("AddMention: claim id out of range");
+  }
+  const SourceId source = documents_[document].source;
+  if (source >= sources_.size()) {
+    return Status::FailedPrecondition("AddMention: document has invalid source");
+  }
+  Clique clique{claim, document, source, stance};
+  claim_cliques_[claim].push_back(cliques_.size());
+  cliques_.push_back(clique);
+  auto& claims_of_source = source_claims_[source];
+  if (std::find(claims_of_source.begin(), claims_of_source.end(), claim) ==
+      claims_of_source.end()) {
+    claims_of_source.push_back(claim);
+  }
+  return Status::OK();
+}
+
+void FactDatabase::SetGroundTruth(ClaimId id, bool credible) {
+  truth_known_[id] = 1;
+  truth_value_[id] = credible ? 1 : 0;
+}
+
+Status FactDatabase::Validate() const {
+  const size_t ms = source_feature_dim();
+  for (const auto& source : sources_) {
+    if (source.features.size() != ms) {
+      return Status::FailedPrecondition("Validate: inconsistent source feature dim");
+    }
+  }
+  const size_t md = document_feature_dim();
+  for (const auto& document : documents_) {
+    if (document.features.size() != md) {
+      return Status::FailedPrecondition(
+          "Validate: inconsistent document feature dim");
+    }
+    if (document.source >= sources_.size()) {
+      return Status::FailedPrecondition("Validate: document references bad source");
+    }
+  }
+  for (const auto& clique : cliques_) {
+    if (clique.claim >= claims_.size() || clique.document >= documents_.size() ||
+        clique.source >= sources_.size()) {
+      return Status::FailedPrecondition("Validate: clique references bad id");
+    }
+    if (documents_[clique.document].source != clique.source) {
+      return Status::FailedPrecondition(
+          "Validate: clique source does not match document source");
+    }
+  }
+  return Status::OK();
+}
+
+size_t FactDatabase::source_feature_dim() const {
+  return sources_.empty() ? 0 : sources_.front().features.size();
+}
+
+size_t FactDatabase::document_feature_dim() const {
+  return documents_.empty() ? 0 : documents_.front().features.size();
+}
+
+BeliefState::BeliefState(size_t num_claims, double prior)
+    : probs_(num_claims, prior), labels_(num_claims, ClaimLabel::kUnlabeled) {}
+
+void BeliefState::SetLabel(ClaimId id, bool credible) {
+  if (labels_[id] == ClaimLabel::kUnlabeled) ++labeled_count_;
+  labels_[id] = credible ? ClaimLabel::kCredible : ClaimLabel::kNonCredible;
+  probs_[id] = credible ? 1.0 : 0.0;
+}
+
+void BeliefState::ClearLabel(ClaimId id, double restored_prob) {
+  if (labels_[id] != ClaimLabel::kUnlabeled) --labeled_count_;
+  labels_[id] = ClaimLabel::kUnlabeled;
+  probs_[id] = restored_prob;
+}
+
+std::vector<ClaimId> BeliefState::LabeledClaims() const {
+  std::vector<ClaimId> out;
+  out.reserve(labeled_count_);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] != ClaimLabel::kUnlabeled) out.push_back(static_cast<ClaimId>(i));
+  }
+  return out;
+}
+
+std::vector<ClaimId> BeliefState::UnlabeledClaims() const {
+  std::vector<ClaimId> out;
+  out.reserve(unlabeled_count());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == ClaimLabel::kUnlabeled) out.push_back(static_cast<ClaimId>(i));
+  }
+  return out;
+}
+
+double BeliefState::Effort() const {
+  if (probs_.empty()) return 0.0;
+  return static_cast<double>(labeled_count_) / static_cast<double>(probs_.size());
+}
+
+}  // namespace veritas

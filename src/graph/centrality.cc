@@ -1,0 +1,81 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+
+namespace veritas {
+
+Result<std::vector<double>> PageRank(const Digraph& graph,
+                                     const CentralityOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("PageRank: empty graph");
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (graph.OutDegree(u) == 0) dangling_mass += rank[u];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling_mass * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (size_t u = 0; u < n; ++u) {
+      const size_t degree = graph.OutDegree(u);
+      if (degree == 0) continue;
+      const double share = options.damping * rank[u] / static_cast<double>(degree);
+      for (size_t v : graph.OutEdges(u)) next[v] += share;
+    }
+    double delta = 0.0;
+    for (size_t u = 0; u < n; ++u) delta += std::fabs(next[u] - rank[u]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+namespace {
+
+void NormalizeL2(std::vector<double>* v) {
+  double norm = 0.0;
+  for (double x : *v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm <= 0.0) return;
+  for (double& x : *v) x /= norm;
+}
+
+}  // namespace
+
+Result<HitsScores> Hits(const Digraph& graph, const CentralityOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("Hits: empty graph");
+  HitsScores scores;
+  scores.hubs.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  scores.authorities.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<double> new_auth(n, 0.0);
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t u : graph.InEdges(v)) new_auth[v] += scores.hubs[u];
+    }
+    NormalizeL2(&new_auth);
+
+    std::vector<double> new_hubs(n, 0.0);
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v : graph.OutEdges(u)) new_hubs[u] += new_auth[v];
+    }
+    NormalizeL2(&new_hubs);
+
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      delta += std::fabs(new_auth[i] - scores.authorities[i]);
+      delta += std::fabs(new_hubs[i] - scores.hubs[i]);
+    }
+    scores.authorities.swap(new_auth);
+    scores.hubs.swap(new_hubs);
+    if (delta < options.tolerance) break;
+  }
+  return scores;
+}
+
+}  // namespace veritas

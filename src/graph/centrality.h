@@ -1,0 +1,34 @@
+#ifndef VERITAS_GRAPH_CENTRALITY_H_
+#define VERITAS_GRAPH_CENTRALITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace veritas {
+
+/// Options for the power-iteration centrality algorithms.
+struct CentralityOptions {
+  double damping = 0.85;     ///< PageRank damping factor.
+  size_t max_iterations = 100;
+  double tolerance = 1e-10;  ///< L1 change threshold for convergence.
+};
+
+/// PageRank scores (sum to 1); dangling-node mass is redistributed uniformly.
+/// Used as a website-source feature per §8.1. Errors on an empty graph.
+Result<std::vector<double>> PageRank(const Digraph& graph,
+                                     const CentralityOptions& options = {});
+
+/// HITS hub and authority scores, L2-normalized.
+struct HitsScores {
+  std::vector<double> hubs;
+  std::vector<double> authorities;
+};
+
+/// Kleinberg's HITS by alternating power iteration. Errors on an empty graph.
+Result<HitsScores> Hits(const Digraph& graph, const CentralityOptions& options = {});
+
+}  // namespace veritas
+
+#endif  // VERITAS_GRAPH_CENTRALITY_H_

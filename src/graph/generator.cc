@@ -1,0 +1,39 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+
+namespace veritas {
+
+Result<Digraph> GenerateWebGraph(const WebGraphOptions& options, Rng* rng) {
+  if (options.num_nodes == 0) {
+    return Status::InvalidArgument("GenerateWebGraph: num_nodes must be positive");
+  }
+  if (options.edges_per_node == 0) {
+    return Status::InvalidArgument("GenerateWebGraph: edges_per_node must be positive");
+  }
+  Digraph graph(options.num_nodes);
+  // Repeated-endpoint list: sampling uniformly from it realizes sampling
+  // proportionally to in-degree + 1 (the +1 from the node's own entry).
+  std::vector<size_t> attachment;
+  attachment.reserve(options.num_nodes * (options.edges_per_node + 1));
+  for (size_t node = 0; node < options.num_nodes; ++node) {
+    attachment.push_back(node);
+    if (node == 0) continue;
+    const size_t fanout = std::min(options.edges_per_node, node);
+    for (size_t e = 0; e < fanout; ++e) {
+      size_t target;
+      if (rng->Bernoulli(options.uniform_mix)) {
+        target = static_cast<size_t>(rng->UniformInt(node));
+      } else {
+        target = attachment[rng->UniformInt(attachment.size())];
+        if (target >= node) target = static_cast<size_t>(rng->UniformInt(node));
+      }
+      Status s = graph.AddEdge(node, target);
+      if (!s.ok()) return s;
+      attachment.push_back(target);
+    }
+  }
+  return graph;
+}
+
+}  // namespace veritas

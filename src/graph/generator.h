@@ -1,0 +1,29 @@
+#ifndef VERITAS_GRAPH_GENERATOR_H_
+#define VERITAS_GRAPH_GENERATOR_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace veritas {
+
+/// Parameters of the preferential-attachment web-graph generator used to
+/// synthesize a hyperlink structure among emulated sources. Preferential
+/// attachment yields the heavy-tailed in-degree (and hence PageRank)
+/// distribution observed on the real Web, which is the property the paper's
+/// centrality features inherit.
+struct WebGraphOptions {
+  size_t num_nodes = 100;
+  size_t edges_per_node = 3;   ///< Out-links attached per arriving node.
+  double uniform_mix = 0.15;   ///< Probability of a uniformly random target.
+};
+
+/// Generates a directed preferential-attachment graph.
+/// Errors when num_nodes == 0 or edges_per_node == 0.
+Result<Digraph> GenerateWebGraph(const WebGraphOptions& options, Rng* rng);
+
+}  // namespace veritas
+
+#endif  // VERITAS_GRAPH_GENERATOR_H_

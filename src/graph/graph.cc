@@ -1,0 +1,67 @@
+#include "graph/graph.h"
+
+#include <numeric>
+
+namespace veritas {
+
+Digraph::Digraph(size_t num_nodes)
+    : out_edges_(num_nodes), in_edges_(num_nodes) {}
+
+size_t Digraph::AddNode() {
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return out_edges_.size() - 1;
+}
+
+Status Digraph::AddEdge(size_t from, size_t to) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::OutOfRange("Digraph::AddEdge: endpoint out of range");
+  }
+  out_edges_[from].push_back(to);
+  in_edges_[to].push_back(from);
+  ++num_edges_;
+  return Status::OK();
+}
+
+UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0), num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_components_;
+  return true;
+}
+
+std::vector<size_t> WeaklyConnectedComponents(const Digraph& graph,
+                                              size_t* num_components) {
+  UnionFind uf(graph.num_nodes());
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    for (size_t v : graph.OutEdges(u)) uf.Union(u, v);
+  }
+  std::vector<size_t> label(graph.num_nodes());
+  std::vector<size_t> remap(graph.num_nodes(), SIZE_MAX);
+  size_t next = 0;
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    const size_t root = uf.Find(u);
+    if (remap[root] == SIZE_MAX) remap[root] = next++;
+    label[u] = remap[root];
+  }
+  if (num_components != nullptr) *num_components = next;
+  return label;
+}
+
+}  // namespace veritas

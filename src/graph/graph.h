@@ -1,0 +1,66 @@
+#ifndef VERITAS_GRAPH_GRAPH_H_
+#define VERITAS_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veritas {
+
+/// Simple directed graph with adjacency lists, used for the synthetic web
+/// graph over sources (centrality features, §8.1) and for the CRF's
+/// claim-source connectivity (partitioning optimization, §5.1).
+class Digraph {
+ public:
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Digraph(size_t num_nodes = 0);
+
+  /// Appends a new node and returns its id.
+  size_t AddNode();
+
+  /// Adds a directed edge; errors when an endpoint is out of range.
+  Status AddEdge(size_t from, size_t to);
+
+  size_t num_nodes() const { return out_edges_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::vector<size_t>& OutEdges(size_t node) const { return out_edges_[node]; }
+  const std::vector<size_t>& InEdges(size_t node) const { return in_edges_[node]; }
+
+  size_t OutDegree(size_t node) const { return out_edges_[node].size(); }
+  size_t InDegree(size_t node) const { return in_edges_[node].size(); }
+
+ private:
+  std::vector<std::vector<size_t>> out_edges_;
+  std::vector<std::vector<size_t>> in_edges_;
+  size_t num_edges_ = 0;
+};
+
+/// Union-find over a fixed universe, used for connected components.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative with path compression.
+  size_t Find(size_t x);
+
+  /// Union by rank; returns true when the sets were distinct.
+  bool Union(size_t a, size_t b);
+
+  size_t num_components() const { return num_components_; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+  size_t num_components_;
+};
+
+/// Labels weakly connected components of a digraph; returns, for every node,
+/// a component id in [0, num_components).
+std::vector<size_t> WeaklyConnectedComponents(const Digraph& graph,
+                                              size_t* num_components);
+
+}  // namespace veritas
+
+#endif  // VERITAS_GRAPH_GRAPH_H_

@@ -1,0 +1,25 @@
+#include "optim/objective.h"
+
+#include <cmath>
+
+namespace veritas {
+
+double MaxGradientDeviation(const DifferentiableObjective& objective,
+                            const std::vector<double>& w, double step) {
+  std::vector<double> analytic;
+  objective.Gradient(w, &analytic);
+  std::vector<double> probe = w;
+  double worst = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    probe[i] = w[i] + step;
+    const double up = objective.Value(probe);
+    probe[i] = w[i] - step;
+    const double down = objective.Value(probe);
+    probe[i] = w[i];
+    const double numeric = (up - down) / (2.0 * step);
+    worst = std::max(worst, std::fabs(numeric - analytic[i]));
+  }
+  return worst;
+}
+
+}  // namespace veritas

@@ -1,0 +1,40 @@
+#ifndef VERITAS_OPTIM_OBJECTIVE_H_
+#define VERITAS_OPTIM_OBJECTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace veritas {
+
+/// A twice-differentiable objective to be minimized. Hessian access is via
+/// Hessian-vector products only, which is all the Trust Region Newton method
+/// needs and keeps large sparse problems linear in the data size (Prop. 1).
+class DifferentiableObjective {
+ public:
+  virtual ~DifferentiableObjective() = default;
+
+  /// Number of parameters.
+  virtual size_t dim() const = 0;
+
+  /// Objective value at w.
+  virtual double Value(const std::vector<double>& w) const = 0;
+
+  /// Writes the gradient at w into *g (resized to dim()).
+  virtual void Gradient(const std::vector<double>& w,
+                        std::vector<double>* g) const = 0;
+
+  /// Writes H(w) * v into *hv (resized to dim()).
+  virtual void HessianVectorProduct(const std::vector<double>& w,
+                                    const std::vector<double>& v,
+                                    std::vector<double>* hv) const = 0;
+};
+
+/// Central-difference gradient check utility (tests and debugging).
+/// Returns the maximum absolute deviation between the analytic gradient and
+/// finite differences at w.
+double MaxGradientDeviation(const DifferentiableObjective& objective,
+                            const std::vector<double>& w, double step = 1e-5);
+
+}  // namespace veritas
+
+#endif  // VERITAS_OPTIM_OBJECTIVE_H_

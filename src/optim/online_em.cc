@@ -1,0 +1,36 @@
+#include "optim/online_em.h"
+
+#include <cmath>
+
+namespace veritas {
+
+Result<StepSchedule> StepSchedule::Create(double a, double t0, double kappa) {
+  if (a <= 0.0) return Status::InvalidArgument("StepSchedule: a must be positive");
+  if (t0 < 0.0) return Status::InvalidArgument("StepSchedule: t0 must be >= 0");
+  if (kappa <= 0.5 || kappa > 1.0) {
+    return Status::InvalidArgument(
+        "StepSchedule: kappa must lie in (0.5, 1] for Robbins-Monro convergence");
+  }
+  return StepSchedule(a, t0, kappa);
+}
+
+double StepSchedule::Step(size_t t) const {
+  return a_ / std::pow(t0_ + static_cast<double>(t), kappa_);
+}
+
+double ArmijoLineSearch(
+    const std::function<double(const std::vector<double>&)>& value_at,
+    const std::vector<double>& w, const std::vector<double>& direction,
+    double initial_step, double slope, double c1, size_t max_halvings) {
+  const double base = value_at(w);
+  double step = initial_step;
+  std::vector<double> candidate(w.size());
+  for (size_t attempt = 0; attempt <= max_halvings; ++attempt) {
+    for (size_t i = 0; i < w.size(); ++i) candidate[i] = w[i] + step * direction[i];
+    if (value_at(candidate) <= base + c1 * step * slope) return step;
+    step *= 0.5;
+  }
+  return 0.0;
+}
+
+}  // namespace veritas

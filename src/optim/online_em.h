@@ -1,0 +1,46 @@
+#ifndef VERITAS_OPTIM_ONLINE_EM_H_
+#define VERITAS_OPTIM_ONLINE_EM_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veritas {
+
+/// Robbins-Monro step-size schedule gamma_t = a / (t0 + t)^kappa used by the
+/// stochastic-approximation update of streaming fact checking (Eq. 29).
+/// The conditions sum gamma = inf and sum gamma^2 < inf require
+/// kappa in (0.5, 1]; the constructor validates this.
+class StepSchedule {
+ public:
+  /// Errors unless a > 0, t0 >= 0 and kappa in (0.5, 1].
+  static Result<StepSchedule> Create(double a, double t0, double kappa);
+
+  /// Step size for iteration t (1-based).
+  double Step(size_t t) const;
+
+  double a() const { return a_; }
+  double t0() const { return t0_; }
+  double kappa() const { return kappa_; }
+
+ private:
+  StepSchedule(double a, double t0, double kappa) : a_(a), t0_(t0), kappa_(kappa) {}
+  double a_;
+  double t0_;
+  double kappa_;
+};
+
+/// Backtracking Armijo line search along `direction` from `w`, used to adjust
+/// online-EM steps so the surrogate likelihood actually improves (§7, [18]).
+/// `value_at` evaluates the objective to be minimized. Returns the accepted
+/// step length (possibly 0 when no improvement was found within max_halvings).
+double ArmijoLineSearch(const std::function<double(const std::vector<double>&)>& value_at,
+                        const std::vector<double>& w,
+                        const std::vector<double>& direction, double initial_step,
+                        double slope, double c1 = 1e-4, size_t max_halvings = 20);
+
+}  // namespace veritas
+
+#endif  // VERITAS_OPTIM_ONLINE_EM_H_

@@ -1,0 +1,66 @@
+#include "text/language_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veritas {
+
+namespace {
+
+// Linear generative map: feature_i = intercept_i + slope_i * quality + noise.
+// Slopes encode the direction each indicator moves with language quality.
+struct FeatureSpec {
+  const char* name;
+  double intercept;
+  double slope;
+};
+
+constexpr FeatureSpec kSpecs[] = {
+    {"modal_verb_rate", 0.55, -0.35},        // hedging modals drop with quality
+    {"inferential_conjunctions", 0.15, 0.55},  // 'therefore', 'hence' rise
+    {"hedge_rate", 0.60, -0.45},             // 'maybe', 'reportedly' drop
+    {"sentiment_extremity", 0.70, -0.50},    // strong affect signals low quality
+    {"subjectivity", 0.75, -0.55},           // objective prose for high quality
+    {"thematic_coherence", 0.25, 0.60},      // topical focus rises
+};
+
+constexpr size_t kNumFeatures = sizeof(kSpecs) / sizeof(kSpecs[0]);
+
+}  // namespace
+
+const std::vector<std::string>& DocumentFeatureNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>();
+    for (const auto& spec : kSpecs) v->push_back(spec.name);
+    return v;
+  }();
+  return *names;
+}
+
+size_t NumDocumentFeatures() { return kNumFeatures; }
+
+std::vector<double> LanguageFeatureModel::Generate(double quality, Rng* rng) const {
+  quality = std::clamp(quality, 0.0, 1.0);
+  std::vector<double> features(kNumFeatures);
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    const double mean = kSpecs[i].intercept + kSpecs[i].slope * quality;
+    features[i] = std::clamp(mean + rng->Normal(0.0, noise_), 0.0, 1.0);
+  }
+  return features;
+}
+
+double LanguageFeatureModel::EstimateQuality(const std::vector<double>& features) const {
+  // Least squares for a single unknown q: minimize
+  // sum_i (f_i - a_i - b_i q)^2  =>  q = sum b_i (f_i - a_i) / sum b_i^2.
+  double numerator = 0.0;
+  double denominator = 0.0;
+  const size_t n = std::min(features.size(), kNumFeatures);
+  for (size_t i = 0; i < n; ++i) {
+    numerator += kSpecs[i].slope * (features[i] - kSpecs[i].intercept);
+    denominator += kSpecs[i].slope * kSpecs[i].slope;
+  }
+  if (denominator <= 0.0) return 0.5;
+  return std::clamp(numerator / denominator, 0.0, 1.0);
+}
+
+}  // namespace veritas

@@ -1,0 +1,85 @@
+#include "text/lexicons.h"
+
+#include <cctype>
+
+namespace veritas {
+
+namespace {
+
+const std::vector<std::string>* MakeList(std::initializer_list<const char*> words) {
+  auto* list = new std::vector<std::string>();
+  for (const char* word : words) list->push_back(word);
+  return list;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ModalLexicon() {
+  static const auto* lexicon = MakeList(
+      {"might", "could", "should", "would", "may", "must", "can", "shall"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& InferentialLexicon() {
+  static const auto* lexicon =
+      MakeList({"therefore", "hence", "thus", "consequently", "because",
+                "accordingly", "since"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& HedgeLexicon() {
+  static const auto* lexicon =
+      MakeList({"maybe", "perhaps", "reportedly", "allegedly", "possibly",
+                "apparently", "supposedly", "rumored"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& PositiveAffectLexicon() {
+  static const auto* lexicon = MakeList(
+      {"amazing", "incredible", "wonderful", "miracle", "fantastic", "stunning"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& NegativeAffectLexicon() {
+  static const auto* lexicon = MakeList(
+      {"terrible", "shocking", "horrifying", "outrageous", "disaster", "scandal"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& SubjectivityLexicon() {
+  static const auto* lexicon =
+      MakeList({"i", "believe", "feel", "think", "opinion", "honestly", "personally"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& TopicLexicon() {
+  static const auto* lexicon =
+      MakeList({"study", "data", "evidence", "report", "research", "analysis",
+                "measurement", "record"});
+  return *lexicon;
+}
+
+const std::vector<std::string>& FillerLexicon() {
+  static const auto* lexicon =
+      MakeList({"the", "a", "of", "to", "and", "in", "on", "it", "was", "is",
+                "that", "this", "with", "for", "as", "at", "by", "from"});
+  return *lexicon;
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char raw : text) {
+    const unsigned char ch = static_cast<unsigned char>(raw);
+    if (std::isalpha(ch)) {
+      current.push_back(static_cast<char>(std::tolower(ch)));
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace veritas

@@ -1,0 +1,30 @@
+#ifndef VERITAS_TEXT_LEXICONS_H_
+#define VERITAS_TEXT_LEXICONS_H_
+
+#include <string>
+#include <vector>
+
+namespace veritas {
+
+/// Compact embedded lexicons backing the linguistic indicators of §8.1
+/// (stylistic: modals, inferential conjunctions, hedges; affective:
+/// sentiment, subjectivity markers; thematic words). These are the word
+/// classes Olteanu et al. (ECIR 2013) use for Web credibility features.
+/// The lists are intentionally small — the substrate only needs the
+/// *pipeline* (tokenize, count, normalize), not lexical coverage.
+const std::vector<std::string>& ModalLexicon();
+const std::vector<std::string>& InferentialLexicon();
+const std::vector<std::string>& HedgeLexicon();
+const std::vector<std::string>& PositiveAffectLexicon();
+const std::vector<std::string>& NegativeAffectLexicon();
+const std::vector<std::string>& SubjectivityLexicon();
+const std::vector<std::string>& TopicLexicon();
+const std::vector<std::string>& FillerLexicon();
+
+/// Lower-cases and splits text into alphabetic tokens; punctuation and
+/// digits are separators.
+std::vector<std::string> Tokenize(const std::string& text);
+
+}  // namespace veritas
+
+#endif  // VERITAS_TEXT_LEXICONS_H_

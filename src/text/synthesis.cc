@@ -1,0 +1,117 @@
+#include "text/synthesis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/language_model.h"
+#include "text/lexicons.h"
+
+namespace veritas {
+
+namespace {
+
+/// Draws a word from a lexicon.
+const std::string& Draw(const std::vector<std::string>& lexicon, Rng* rng) {
+  return lexicon[rng->UniformInt(lexicon.size())];
+}
+
+double RateOf(const std::vector<std::string>& tokens,
+              const std::vector<std::string>& lexicon) {
+  if (tokens.empty()) return 0.0;
+  std::unordered_set<std::string> words(lexicon.begin(), lexicon.end());
+  double hits = 0.0;
+  for (const auto& token : tokens) {
+    if (words.count(token)) hits += 1.0;
+  }
+  return hits / static_cast<double>(tokens.size());
+}
+
+}  // namespace
+
+std::string SynthesizeDocumentText(double quality, const SynthesisOptions& options,
+                                   Rng* rng) {
+  quality = std::clamp(quality, 0.0, 1.0);
+  const size_t span = options.max_words > options.min_words
+                          ? options.max_words - options.min_words
+                          : 0;
+  const size_t words =
+      options.min_words + (span > 0 ? rng->UniformInt(span + 1) : 0);
+
+  // Word-class mixture as a function of quality. The weights mirror the
+  // slopes of LanguageFeatureModel: inferential/topic vocabulary rises with
+  // quality, hedging/affective/subjective vocabulary falls.
+  const double w_modal = 0.11 - 0.07 * quality;
+  const double w_inferential = 0.03 + 0.11 * quality;
+  const double w_hedge = 0.12 - 0.09 * quality;
+  const double w_affect = 0.14 - 0.10 * quality;
+  const double w_subjective = 0.15 - 0.11 * quality;
+  const double w_topic = 0.05 + 0.12 * quality;
+  const std::vector<double> weights{
+      w_modal, w_inferential, w_hedge,
+      w_affect, w_subjective, w_topic,
+      1.0 - (w_modal + w_inferential + w_hedge + w_affect + w_subjective + w_topic)};
+
+  std::string text;
+  size_t sentence_length = 0;
+  for (size_t i = 0; i < words; ++i) {
+    const size_t category = rng->Categorical(weights);
+    const std::string* word = nullptr;
+    switch (category) {
+      case 0:
+        word = &Draw(ModalLexicon(), rng);
+        break;
+      case 1:
+        word = &Draw(InferentialLexicon(), rng);
+        break;
+      case 2:
+        word = &Draw(HedgeLexicon(), rng);
+        break;
+      case 3:
+        word = rng->Bernoulli(0.5) ? &Draw(PositiveAffectLexicon(), rng)
+                                   : &Draw(NegativeAffectLexicon(), rng);
+        break;
+      case 4:
+        word = &Draw(SubjectivityLexicon(), rng);
+        break;
+      case 5:
+        word = &Draw(TopicLexicon(), rng);
+        break;
+      default:
+        word = &Draw(FillerLexicon(), rng);
+        break;
+    }
+    if (!text.empty()) text.push_back(' ');
+    text += *word;
+    if (++sentence_length >= 8 + rng->UniformInt(8)) {
+      text.push_back('.');
+      sentence_length = 0;
+    }
+  }
+  text.push_back('.');
+  return text;
+}
+
+std::vector<double> ExtractDocumentFeatures(const std::string& text) {
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty()) {
+    return std::vector<double>(NumDocumentFeatures(), 0.5);
+  }
+  // Scale factors bring the raw token rates (a few percent) into [0, 1]
+  // feature space; chosen so the generator's quality extremes roughly span
+  // the interval, mirroring LanguageFeatureModel's dynamic range.
+  const double modal = std::min(1.0, RateOf(tokens, ModalLexicon()) * 6.0);
+  const double inferential =
+      std::min(1.0, RateOf(tokens, InferentialLexicon()) * 6.0);
+  const double hedge = std::min(1.0, RateOf(tokens, HedgeLexicon()) * 6.0);
+  double affect = RateOf(tokens, PositiveAffectLexicon()) +
+                  RateOf(tokens, NegativeAffectLexicon());
+  affect = std::min(1.0, affect * 6.0);
+  const double subjectivity =
+      std::min(1.0, RateOf(tokens, SubjectivityLexicon()) * 6.0);
+  const double coherence = std::min(1.0, RateOf(tokens, TopicLexicon()) * 6.0);
+  // Order must match DocumentFeatureNames(): modal, inferential, hedge,
+  // sentiment extremity, subjectivity, thematic coherence.
+  return {modal, inferential, hedge, affect, subjectivity, coherence};
+}
+
+}  // namespace veritas

@@ -1,0 +1,35 @@
+#ifndef VERITAS_TEXT_SYNTHESIS_H_
+#define VERITAS_TEXT_SYNTHESIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace veritas {
+
+/// Options of the synthetic document-text generator.
+struct SynthesisOptions {
+  size_t min_words = 40;
+  size_t max_words = 120;
+};
+
+/// Generates document text whose word-class mixture depends on a latent
+/// language quality q in [0, 1]: high-quality text uses inferential and
+/// thematic vocabulary, low-quality text leans on hedges, modals and
+/// affective words. Together with ExtractDocumentFeatures this realizes the
+/// paper's actual pipeline — documents are text, features are extracted —
+/// rather than sampling features directly.
+std::string SynthesizeDocumentText(double quality, const SynthesisOptions& options,
+                                   Rng* rng);
+
+/// Extracts the six linguistic features of DocumentFeatureNames() from text
+/// by lexicon matching over tokens. Rates are scaled to roughly occupy
+/// [0, 1] over the generator's output range, so the extracted features are
+/// drop-in compatible with LanguageFeatureModel's. Empty text yields all
+/// 0.5 (uninformative).
+std::vector<double> ExtractDocumentFeatures(const std::string& text);
+
+}  // namespace veritas
+
+#endif  // VERITAS_TEXT_SYNTHESIS_H_

@@ -1,0 +1,284 @@
+#include "truthfinder/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+#include "core/grounding.h"
+
+namespace veritas {
+
+namespace {
+
+/// Binary claims yield two mutually exclusive facts per claim: fact index
+/// 2c votes "credible", 2c+1 votes "non-credible". A supporting mention is
+/// a vote for 2c, a refuting one for 2c+1. The vote matrix is stored as
+/// per-fact voter lists and per-source fact lists.
+struct VoteStructure {
+  std::vector<std::vector<SourceId>> fact_voters;   // per fact
+  std::vector<std::vector<size_t>> source_facts;    // per source, fact ids
+  size_t num_claims = 0;
+};
+
+VoteStructure BuildVotes(const FactDatabase& db) {
+  VoteStructure votes;
+  votes.num_claims = db.num_claims();
+  votes.fact_voters.assign(db.num_claims() * 2, {});
+  votes.source_facts.assign(db.num_sources(), {});
+  for (const Clique& clique : db.cliques()) {
+    const size_t fact = 2 * static_cast<size_t>(clique.claim) +
+                        (clique.stance == Stance::kSupport ? 0 : 1);
+    // A source may mention the same claim repeatedly; each mention is a
+    // vote, matching the evidential weight of repeated assertions.
+    votes.fact_voters[fact].push_back(clique.source);
+    votes.source_facts[clique.source].push_back(fact);
+  }
+  return votes;
+}
+
+/// Claim score from the two fact beliefs: belief(credible) normalized.
+std::vector<double> ClaimScores(const VoteStructure& votes,
+                                const std::vector<double>& fact_belief) {
+  std::vector<double> scores(votes.num_claims, 0.5);
+  for (size_t c = 0; c < votes.num_claims; ++c) {
+    const double positive = std::max(0.0, fact_belief[2 * c]);
+    const double negative = std::max(0.0, fact_belief[2 * c + 1]);
+    const double total = positive + negative;
+    if (total > 0.0) scores[c] = positive / total;
+  }
+  return scores;
+}
+
+double MaxOf(const std::vector<double>& xs) {
+  double best = 0.0;
+  for (const double x : xs) best = std::max(best, std::fabs(x));
+  return best > 0.0 ? best : 1.0;
+}
+
+Status ValidateDb(const FactDatabase& db) {
+  if (db.num_claims() == 0) {
+    return Status::InvalidArgument("truth finding: empty database");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TruthFindingResult> RunMajorityVote(const FactDatabase& db) {
+  VERITAS_RETURN_IF_ERROR(ValidateDb(db));
+  const VoteStructure votes = BuildVotes(db);
+  std::vector<double> beliefs(votes.fact_voters.size());
+  for (size_t f = 0; f < beliefs.size(); ++f) {
+    beliefs[f] = static_cast<double>(votes.fact_voters[f].size());
+  }
+  TruthFindingResult result;
+  result.claim_scores = ClaimScores(votes, beliefs);
+  result.iterations = 1;
+  // Trust: agreement of the source's votes with the majority outcome.
+  result.source_trust.assign(db.num_sources(), 0.5);
+  for (size_t s = 0; s < db.num_sources(); ++s) {
+    const auto& facts = votes.source_facts[s];
+    if (facts.empty()) continue;
+    double agree = 0.0;
+    for (const size_t f : facts) {
+      const size_t claim = f / 2;
+      const bool votes_credible = f % 2 == 0;
+      const bool majority_credible = result.claim_scores[claim] >= 0.5;
+      agree += votes_credible == majority_credible ? 1.0 : 0.0;
+    }
+    result.source_trust[s] = agree / static_cast<double>(facts.size());
+  }
+  return result;
+}
+
+Result<TruthFindingResult> RunSums(const FactDatabase& db,
+                                   const TruthFindingOptions& options) {
+  VERITAS_RETURN_IF_ERROR(ValidateDb(db));
+  const VoteStructure votes = BuildVotes(db);
+  std::vector<double> trust(db.num_sources(), options.initial_trust);
+  std::vector<double> belief(votes.fact_voters.size(), 0.0);
+
+  TruthFindingResult result;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    std::vector<double> new_belief(belief.size(), 0.0);
+    for (size_t f = 0; f < belief.size(); ++f) {
+      for (const SourceId s : votes.fact_voters[f]) new_belief[f] += trust[s];
+    }
+    const double belief_norm = MaxOf(new_belief);
+    for (double& b : new_belief) b /= belief_norm;
+
+    std::vector<double> new_trust(trust.size(), 0.0);
+    for (size_t s = 0; s < trust.size(); ++s) {
+      for (const size_t f : votes.source_facts[s]) new_trust[s] += new_belief[f];
+    }
+    const double trust_norm = MaxOf(new_trust);
+    for (double& t : new_trust) t /= trust_norm;
+
+    double change = 0.0;
+    for (size_t f = 0; f < belief.size(); ++f) {
+      change = std::max(change, std::fabs(new_belief[f] - belief[f]));
+    }
+    belief.swap(new_belief);
+    trust.swap(new_trust);
+    if (change < options.tolerance) break;
+  }
+  result.claim_scores = ClaimScores(votes, belief);
+  result.source_trust = trust;
+  return result;
+}
+
+Result<TruthFindingResult> RunAverageLog(const FactDatabase& db,
+                                         const TruthFindingOptions& options) {
+  VERITAS_RETURN_IF_ERROR(ValidateDb(db));
+  const VoteStructure votes = BuildVotes(db);
+  std::vector<double> trust(db.num_sources(), options.initial_trust);
+  std::vector<double> belief(votes.fact_voters.size(), 0.0);
+
+  TruthFindingResult result;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    std::vector<double> new_belief(belief.size(), 0.0);
+    for (size_t f = 0; f < belief.size(); ++f) {
+      for (const SourceId s : votes.fact_voters[f]) new_belief[f] += trust[s];
+    }
+    const double belief_norm = MaxOf(new_belief);
+    for (double& b : new_belief) b /= belief_norm;
+
+    std::vector<double> new_trust(trust.size(), 0.0);
+    for (size_t s = 0; s < trust.size(); ++s) {
+      const auto& facts = votes.source_facts[s];
+      if (facts.empty()) continue;
+      double sum = 0.0;
+      for (const size_t f : facts) sum += new_belief[f];
+      const double count = static_cast<double>(facts.size());
+      new_trust[s] = std::log(count + 1.0) * sum / count;
+    }
+    const double trust_norm = MaxOf(new_trust);
+    for (double& t : new_trust) t /= trust_norm;
+
+    double change = 0.0;
+    for (size_t f = 0; f < belief.size(); ++f) {
+      change = std::max(change, std::fabs(new_belief[f] - belief[f]));
+    }
+    belief.swap(new_belief);
+    trust.swap(new_trust);
+    if (change < options.tolerance) break;
+  }
+  result.claim_scores = ClaimScores(votes, belief);
+  result.source_trust = trust;
+  return result;
+}
+
+Result<TruthFindingResult> RunInvestment(const FactDatabase& db,
+                                         const TruthFindingOptions& options) {
+  VERITAS_RETURN_IF_ERROR(ValidateDb(db));
+  const VoteStructure votes = BuildVotes(db);
+  std::vector<double> trust(db.num_sources(), options.initial_trust);
+  std::vector<double> belief(votes.fact_voters.size(), 0.0);
+
+  TruthFindingResult result;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Each source invests trust/|facts| into each of its facts.
+    std::vector<double> invested(belief.size(), 0.0);
+    for (size_t s = 0; s < trust.size(); ++s) {
+      const auto& facts = votes.source_facts[s];
+      if (facts.empty()) continue;
+      const double stake = trust[s] / static_cast<double>(facts.size());
+      for (const size_t f : facts) invested[f] += stake;
+    }
+    std::vector<double> new_belief(belief.size(), 0.0);
+    for (size_t f = 0; f < belief.size(); ++f) {
+      new_belief[f] = std::pow(std::max(0.0, invested[f]),
+                               options.investment_growth);
+    }
+    const double belief_norm = MaxOf(new_belief);
+    for (double& b : new_belief) b /= belief_norm;
+
+    // Returns proportional to each investor's share of the fact's stake.
+    std::vector<double> new_trust(trust.size(), 0.0);
+    for (size_t s = 0; s < trust.size(); ++s) {
+      const auto& facts = votes.source_facts[s];
+      if (facts.empty()) continue;
+      const double stake = trust[s] / static_cast<double>(facts.size());
+      for (const size_t f : facts) {
+        if (invested[f] > 0.0) {
+          new_trust[s] += new_belief[f] * stake / invested[f];
+        }
+      }
+    }
+    const double trust_norm = MaxOf(new_trust);
+    for (double& t : new_trust) t /= trust_norm;
+
+    double change = 0.0;
+    for (size_t f = 0; f < belief.size(); ++f) {
+      change = std::max(change, std::fabs(new_belief[f] - belief[f]));
+    }
+    belief.swap(new_belief);
+    trust.swap(new_trust);
+    if (change < options.tolerance) break;
+  }
+  result.claim_scores = ClaimScores(votes, belief);
+  result.source_trust = trust;
+  return result;
+}
+
+Result<TruthFindingResult> RunTruthFinder(const FactDatabase& db,
+                                          const TruthFindingOptions& options) {
+  VERITAS_RETURN_IF_ERROR(ValidateDb(db));
+  const VoteStructure votes = BuildVotes(db);
+  std::vector<double> trust(db.num_sources(),
+                            std::clamp(options.initial_trust, 0.05, 0.95));
+  std::vector<double> confidence(votes.fact_voters.size(), 0.0);
+
+  TruthFindingResult result;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Fact confidence score: sum of voter trust scores tau = -ln(1 - t).
+    std::vector<double> sigma(confidence.size(), 0.0);
+    for (size_t f = 0; f < sigma.size(); ++f) {
+      for (const SourceId s : votes.fact_voters[f]) {
+        sigma[f] += -std::log(1.0 - std::clamp(trust[s], 0.05, 0.95));
+      }
+    }
+    // Mutual exclusion: the opposing fact's confidence lowers this fact's
+    // adjusted score (implication -1 between c and not-c).
+    std::vector<double> new_confidence(confidence.size(), 0.0);
+    for (size_t c = 0; c < votes.num_claims; ++c) {
+      const double pos = sigma[2 * c];
+      const double neg = sigma[2 * c + 1];
+      const double adj_pos = pos - options.implication * neg;
+      const double adj_neg = neg - options.implication * pos;
+      new_confidence[2 * c] = Sigmoid(options.dampening * adj_pos);
+      new_confidence[2 * c + 1] = Sigmoid(options.dampening * adj_neg);
+    }
+    // Source trust: mean confidence of its facts.
+    std::vector<double> new_trust(trust.size(), options.initial_trust);
+    for (size_t s = 0; s < trust.size(); ++s) {
+      const auto& facts = votes.source_facts[s];
+      if (facts.empty()) continue;
+      double sum = 0.0;
+      for (const size_t f : facts) sum += new_confidence[f];
+      new_trust[s] = sum / static_cast<double>(facts.size());
+    }
+    double change = 0.0;
+    for (size_t f = 0; f < confidence.size(); ++f) {
+      change = std::max(change, std::fabs(new_confidence[f] - confidence[f]));
+    }
+    confidence.swap(new_confidence);
+    trust.swap(new_trust);
+    if (change < options.tolerance) break;
+  }
+  result.claim_scores = ClaimScores(votes, confidence);
+  result.source_trust = trust;
+  return result;
+}
+
+double TruthFindingPrecision(const TruthFindingResult& result,
+                             const FactDatabase& db) {
+  const Grounding grounding = GroundingFromProbs(result.claim_scores);
+  return GroundingPrecision(grounding, db);
+}
+
+}  // namespace veritas

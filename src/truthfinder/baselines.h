@@ -1,0 +1,72 @@
+#ifndef VERITAS_TRUTHFINDER_BASELINES_H_
+#define VERITAS_TRUTHFINDER_BASELINES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Output of an automated truth-finding algorithm: a credibility score in
+/// [0, 1] per claim and a trust score in [0, 1] per source.
+///
+/// These are the classic *fully automated* fact-checking methods the paper
+/// positions its interactive framework against (§9: "mutual reinforcing
+/// relations between sources and claims ... these techniques neglect
+/// posterior knowledge on user input"). They serve as the zero-user-effort
+/// baseline of the evaluation: guided validation starts roughly at their
+/// quality level and improves with every user interaction.
+struct TruthFindingResult {
+  std::vector<double> claim_scores;   ///< P(claim credible)-like score
+  std::vector<double> source_trust;   ///< estimated source trustworthiness
+  size_t iterations = 0;              ///< fixed-point iterations performed
+};
+
+/// Options of the iterative algorithms.
+struct TruthFindingOptions {
+  size_t max_iterations = 100;
+  double tolerance = 1e-9;     ///< max score change for convergence
+  double initial_trust = 0.8;  ///< uniform prior source trust
+  double dampening = 0.3;      ///< TruthFinder's gamma
+  double implication = 0.5;    ///< TruthFinder's rho (mutual-exclusion weight)
+  double investment_growth = 1.2;  ///< Investment's G(x) = x^g exponent
+};
+
+/// Per-claim stance-weighted voting: score = supporters / voters, where a
+/// refuting mention counts as a vote for "non-credible".
+Result<TruthFindingResult> RunMajorityVote(const FactDatabase& db);
+
+/// Sums / Hubs-and-Authorities (Kleinberg-style, Pasternack & Roth 2010):
+/// source trust is the sum of its facts' beliefs, a fact's belief the sum of
+/// its voters' trust, normalized each round.
+Result<TruthFindingResult> RunSums(const FactDatabase& db,
+                                   const TruthFindingOptions& options = {});
+
+/// Average-Log (Pasternack & Roth 2010): like Sums, but a source's trust is
+/// the average of its facts' beliefs scaled by log of its claim count,
+/// damping prolific-but-average sources.
+Result<TruthFindingResult> RunAverageLog(const FactDatabase& db,
+                                         const TruthFindingOptions& options = {});
+
+/// Investment (Pasternack & Roth 2010): sources invest their trust uniformly
+/// over their facts; a fact's belief is the invested total grown by
+/// G(x) = x^g, then paid back proportionally to each investor's stake.
+Result<TruthFindingResult> RunInvestment(const FactDatabase& db,
+                                         const TruthFindingOptions& options = {});
+
+/// TruthFinder (Yin, Han & Yu 2008): fact confidence is one minus the
+/// product of voter untrustworthiness (in log domain), adjusted by the
+/// mutual exclusion between a claim and its opposing fact, squashed with
+/// dampening; source trust is the mean confidence of its facts.
+Result<TruthFindingResult> RunTruthFinder(const FactDatabase& db,
+                                          const TruthFindingOptions& options = {});
+
+/// The precision of an automated result's grounding (score >= 0.5) against
+/// the database ground truth. Convenience shared by benches and tests.
+double TruthFindingPrecision(const TruthFindingResult& result,
+                             const FactDatabase& db);
+
+}  // namespace veritas
+
+#endif  // VERITAS_TRUTHFINDER_BASELINES_H_

@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output during the test
+  VERITAS_LOG(Info) << "value=" << 42;
+  VERITAS_LOG(Warning) << "warning message";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, DefaultLevelSuppressesDebug) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(GetLogLevel()));
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,104 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(MathTest, SigmoidAtZeroIsHalf) { EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5); }
+
+TEST(MathTest, SigmoidSymmetry) {
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(MathTest, SigmoidExtremeValuesStayFinite) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(750.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-750.0)));
+}
+
+TEST(MathTest, LogSumExpMatchesDirectComputation) {
+  const std::vector<double> xs{0.1, 0.7, -0.3};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(MathTest, LogSumExpHandlesLargeMagnitudes) {
+  const std::vector<double> xs{1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> ys{-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(ys), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpEmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, LogAddExpCommutesAndMatches) {
+  EXPECT_NEAR(LogAddExp(0.0, 1.0), LogAddExp(1.0, 0.0), 1e-12);
+  EXPECT_NEAR(LogAddExp(0.3, -0.7), std::log(std::exp(0.3) + std::exp(-0.7)), 1e-12);
+}
+
+TEST(MathTest, ClampProbStaysInOpenInterval) {
+  EXPECT_GT(ClampProb(0.0), 0.0);
+  EXPECT_LT(ClampProb(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ClampProb(0.42), 0.42);
+}
+
+TEST(MathTest, BinaryEntropyEndpointsZeroAndMaxAtHalf) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(BinaryEntropy(0.5), std::log(2.0), 1e-12);
+  EXPECT_GT(BinaryEntropy(0.5), BinaryEntropy(0.3));
+  EXPECT_NEAR(BinaryEntropy(0.3), BinaryEntropy(0.7), 1e-12);
+}
+
+TEST(MathTest, DotAndNorm) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+}
+
+TEST(MathTest, AxpyAccumulates) {
+  std::vector<double> y{1.0, 1.0};
+  Axpy(2.0, {3.0, -1.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(MathTest, ScaleMultiplies) {
+  std::vector<double> v{2.0, -4.0};
+  Scale(0.5, &v);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(MathTest, RelativeDifferenceBehaviour) {
+  EXPECT_DOUBLE_EQ(RelativeDifference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(RelativeDifference(100.0, 110.0), 10.0 / 110.0, 1e-12);
+  // Small magnitudes are compared absolutely (denominator floors at 1).
+  EXPECT_NEAR(RelativeDifference(0.0, 0.01), 0.01, 1e-12);
+}
+
+class BinaryEntropySymmetryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BinaryEntropySymmetryTest, SymmetricAroundHalf) {
+  const double p = GetParam();
+  EXPECT_NEAR(BinaryEntropy(p), BinaryEntropy(1.0 - p), 1e-12);
+  EXPECT_GE(BinaryEntropy(p), 0.0);
+  EXPECT_LE(BinaryEntropy(p), std::log(2.0) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinaryEntropySymmetryTest,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.4, 0.5, 0.6, 0.9));
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,213 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  size_t equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3u);
+}
+
+TEST(RngTest, UniformWithinUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(31);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BetaWithinUnitIntervalAndMeanMatches) {
+  Rng rng(37);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.BetaSample(8.0, 2.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.8, 0.02);  // mean of Beta(8,2)
+}
+
+TEST(RngTest, BetaHandlesShapeBelowOne) {
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.BetaSample(0.5, 0.5);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(43);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.GammaSample(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(47);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(4.5);
+  EXPECT_NEAR(sum / n, 4.5, 0.15);
+}
+
+TEST(RngTest, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(53);
+  const int n = 5000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int x = rng.Poisson(200.0);
+    EXPECT_GE(x, 0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 200.0, 3.0);
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(59);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(61);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(67);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += rng.Categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsFallsBackToUniform) {
+  Rng rng(71);
+  std::vector<double> weights{0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Categorical(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(73);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(79);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementCapsAtPopulation) {
+  Rng rng(83);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 50).size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng rng(89);
+  Rng fork = rng.Fork();
+  size_t equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.NextU64() == fork.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3u);
+}
+
+}  // namespace
+}  // namespace veritas

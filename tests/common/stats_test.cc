@@ -1,0 +1,181 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingletonInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  auto r = PearsonCorrelation(xs, ys);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectAnticorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  auto r = PearsonCorrelation(xs, ys);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonErrors) {
+  EXPECT_FALSE(PearsonCorrelation({1.0}, {1.0}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1.0, 1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(StatsTest, KendallTauIdenticalOrderIsOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  auto tau = KendallTauB(xs, xs);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(tau.value(), 1.0, 1e-12);
+}
+
+TEST(StatsTest, KendallTauReversedOrderIsMinusOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{5.0, 4.0, 3.0, 2.0, 1.0};
+  auto tau = KendallTauB(xs, ys);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(tau.value(), -1.0, 1e-12);
+}
+
+TEST(StatsTest, KendallTauHandlesTies) {
+  // x has a tie; tau-b corrects the denominator.
+  const std::vector<double> xs{1.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0, 4.0};
+  auto tau = KendallTauB(xs, ys);
+  ASSERT_TRUE(tau.ok());
+  // 5 concordant pairs, 0 discordant, 1 x-tie: tau = 5 / sqrt(5 * 6).
+  EXPECT_NEAR(tau.value(), 5.0 / std::sqrt(30.0), 1e-12);
+}
+
+TEST(StatsTest, KendallTauAllTiedErrors) {
+  EXPECT_FALSE(KendallTauB({1.0, 1.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(KendallTauB({1.0}, {2.0}).ok());
+}
+
+TEST(HistogramTest, BinsAndNormalization) {
+  Histogram hist(0.0, 1.0, 10);
+  hist.Add(0.05);
+  hist.Add(0.15);
+  hist.Add(0.15);
+  hist.Add(0.999);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 2u);
+  EXPECT_EQ(hist.count(9), 1u);
+  const auto normalized = hist.Normalized();
+  EXPECT_NEAR(normalized[1], 0.5, 1e-12);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToTerminalBuckets) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.Add(-5.0);
+  hist.Add(5.0);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(3), 1u);
+}
+
+TEST(HistogramTest, ExactUpperEdgeGoesToLastBin) {
+  Histogram hist(0.0, 1.0, 5);
+  hist.Add(1.0);
+  EXPECT_EQ(hist.count(4), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram hist(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(hist.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.BinHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.BinLow(4), 8.0);
+}
+
+TEST(BoxStatsTest, FiveNumberSummary) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0};
+  const BoxStats box = ComputeBoxStats(xs);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 9.0);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.q1, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 7.0);
+}
+
+TEST(BoxStatsTest, EmptyInputAllZero) {
+  const BoxStats box = ComputeBoxStats({});
+  EXPECT_DOUBLE_EQ(box.min, 0.0);
+  EXPECT_DOUBLE_EQ(box.max, 0.0);
+}
+
+TEST(KFoldTest, SplitsCoverAllIndicesOnce) {
+  auto folds = KFoldSplit(10, 3);
+  ASSERT_TRUE(folds.ok());
+  std::vector<int> seen(10, 0);
+  for (const auto& fold : folds.value()) {
+    for (const size_t index : fold) ++seen[index];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(KFoldTest, FoldSizesDifferByAtMostOne) {
+  auto folds = KFoldSplit(11, 4);
+  ASSERT_TRUE(folds.ok());
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (const auto& fold : folds.value()) {
+    min_size = std::min(min_size, fold.size());
+    max_size = std::max(max_size, fold.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldTest, InvalidArguments) {
+  EXPECT_FALSE(KFoldSplit(5, 0).ok());
+  EXPECT_FALSE(KFoldSplit(3, 5).ok());
+}
+
+class KFoldParamTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(KFoldParamTest, PartitionLaws) {
+  const auto [n, k] = GetParam();
+  auto folds = KFoldSplit(n, k);
+  ASSERT_TRUE(folds.ok());
+  EXPECT_EQ(folds.value().size(), k);
+  size_t total = 0;
+  for (const auto& fold : folds.value()) total += fold.size();
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KFoldParamTest,
+                         ::testing::Values(std::make_pair<size_t, size_t>(5, 5),
+                                           std::make_pair<size_t, size_t>(100, 7),
+                                           std::make_pair<size_t, size_t>(17, 3),
+                                           std::make_pair<size_t, size_t>(1, 1)));
+
+}  // namespace
+}  // namespace veritas

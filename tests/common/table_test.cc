@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(TextTableTest, RendersHeaderSeparatorAndRows) {
+  TextTable table;
+  table.SetHeader({"dataset", "time"});
+  table.AddRow({"wiki", "0.10"});
+  table.AddRow({"snopes", "0.45"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("dataset"), std::string::npos);
+  EXPECT_NE(out.find("snopes"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, AlignsColumnsByWidestCell) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"longervalue", "x"});
+  const std::string out = table.ToString();
+  // The header row must be padded at least as wide as the longest cell.
+  const size_t header_end = out.find('\n');
+  EXPECT_GE(header_end, std::string{"longervalue"}.size());
+}
+
+TEST(TextTableTest, NumericRowFormatsWithPrecision) {
+  TextTable table;
+  table.SetHeader({"label", "v1", "v2"});
+  table.AddNumericRow("row", {0.123456, 2.0}, 3);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("0.123"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTablePrintsNothing) {
+  TextTable table;
+  EXPECT_TRUE(table.ToString().empty());
+}
+
+TEST(TextTableTest, RowsWiderThanHeaderAreHandled) {
+  TextTable table;
+  table.SetHeader({"only"});
+  table.AddRow({"a", "b", "c"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("c"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.314, 1), "31.4%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace veritas

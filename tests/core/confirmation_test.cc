@@ -1,0 +1,86 @@
+#include "core/confirmation.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+ICrfOptions StrongCouplingOptions() {
+  ICrfOptions options;
+  options.gibbs.burn_in = 15;
+  options.gibbs.num_samples = 60;
+  options.hypothetical_gibbs.burn_in = 15;
+  options.hypothetical_gibbs.num_samples = 60;
+  options.max_em_iterations = 3;
+  options.crf.coupling = 0.9;
+  return options;
+}
+
+TEST(ConfirmationTest, RequiresInference) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  ICrf icrf(&db, StrongCouplingOptions(), 1);
+  BeliefState state(db.num_claims());
+  Rng rng(1);
+  EXPECT_FALSE(FindSuspiciousLabels(icrf, state, {}, &rng).ok());
+}
+
+TEST(ConfirmationTest, NoLabelsNoSuspicions) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(73);
+  ICrf icrf(&corpus.db, StrongCouplingOptions(), 2);
+  BeliefState state(corpus.db.num_claims());
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+  Rng rng(2);
+  auto suspicious = FindSuspiciousLabels(icrf, state, {}, &rng);
+  ASSERT_TRUE(suspicious.ok());
+  EXPECT_TRUE(suspicious.value().empty());
+}
+
+TEST(ConfirmationTest, DetectsInjectedMistakeAmongCorrectLabels) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(79, 30);
+  const FactDatabase& db = corpus.db;
+  ICrf icrf(&db, StrongCouplingOptions(), 3);
+  BeliefState state(db.num_claims());
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+
+  // Label most claims correctly, one incorrectly.
+  const ClaimId wrong = 3;
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    const bool truth = db.ground_truth(id);
+    state.SetLabel(id, id == wrong ? !truth : truth);
+  }
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+
+  Rng rng(3);
+  auto suspicious = FindSuspiciousLabels(icrf, state, {}, &rng);
+  ASSERT_TRUE(suspicious.ok());
+  // The injected mistake must be among the flagged claims (correct labels
+  // may occasionally be flagged too — the check is a heuristic).
+  EXPECT_NE(std::find(suspicious.value().begin(), suspicious.value().end(), wrong),
+            suspicious.value().end());
+}
+
+TEST(ConfirmationTest, MostlyCorrectLabelsYieldFewFlags) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(83, 30);
+  const FactDatabase& db = corpus.db;
+  ICrf icrf(&db, StrongCouplingOptions(), 4);
+  BeliefState state(db.num_claims());
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    state.SetLabel(id, db.ground_truth(id));
+  }
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+  Rng rng(4);
+  auto suspicious = FindSuspiciousLabels(icrf, state, {}, &rng);
+  ASSERT_TRUE(suspicious.ok());
+  // With all labels correct and a trained model, false alarms stay limited.
+  EXPECT_LE(suspicious.value().size(), db.num_claims() / 3);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,83 @@
+#include "core/grounding.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TEST(GroundingTest, FromSamplesUsesModeAndRespectsLabels) {
+  SampleSet samples({{1, 1, 0}, {1, 1, 0}, {0, 1, 0}});
+  BeliefState state(3);
+  state.SetLabel(0, false);  // user says claim 0 is non-credible
+  const Grounding grounding = GroundingFromSamples(samples, state);
+  EXPECT_EQ(grounding[0], 0);  // label wins over the sampled mode
+  EXPECT_EQ(grounding[1], 1);
+  EXPECT_EQ(grounding[2], 0);
+}
+
+TEST(GroundingTest, FromProbsThresholdsAtHalf) {
+  const Grounding grounding = GroundingFromProbs({0.2, 0.5, 0.8});
+  EXPECT_EQ(grounding, (Grounding{0, 1, 1}));
+}
+
+TEST(GroundingTest, ChangesCountsDifferences) {
+  EXPECT_EQ(GroundingChanges({1, 0, 1}, {1, 1, 0}), 2u);
+  EXPECT_EQ(GroundingChanges({1, 0}, {1, 0}), 0u);
+  // Length mismatch counts the surplus as changes.
+  EXPECT_EQ(GroundingChanges({1, 0, 1}, {1, 0}), 1u);
+}
+
+TEST(GroundingTest, PrecisionAgainstGroundTruth) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  // truth is {1, 1, 0}.
+  EXPECT_DOUBLE_EQ(GroundingPrecision({1, 1, 0}, db), 1.0);
+  EXPECT_NEAR(GroundingPrecision({1, 0, 0}, db), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GroundingPrecision({0, 0, 1}, db), 0.0);
+}
+
+TEST(GroundingTest, PrecisionSkipsClaimsWithoutTruth) {
+  FactDatabase db;
+  db.AddClaim({"known"});
+  db.AddClaim({"unknown"});
+  db.SetGroundTruth(0, true);
+  EXPECT_DOUBLE_EQ(GroundingPrecision({1, 0}, db), 1.0);
+  FactDatabase no_truth;
+  no_truth.AddClaim({"x"});
+  EXPECT_DOUBLE_EQ(GroundingPrecision({1}, no_truth), 0.0);
+}
+
+TEST(GroundingTest, PrecisionImprovementNormalizes) {
+  EXPECT_DOUBLE_EQ(PrecisionImprovement(0.75, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionImprovement(1.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionImprovement(0.4, 0.5), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(PrecisionImprovement(0.9, 1.0), 1.0);  // degenerate P0
+}
+
+TEST(SourceTrustTest, AgreementBasedTrust) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  // Correct grounding {1,1,0}: source 0 (supports 0, supports 1 twice — one
+  // document supports both 0 and 1 — and refutes 2) agrees on all cliques;
+  // source 1 (supports 2) agrees on none.
+  const auto trust = SourceTrustworthiness(db, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(trust[0], 1.0);
+  EXPECT_DOUBLE_EQ(trust[1], 0.0);
+}
+
+TEST(SourceTrustTest, SourcesWithoutCliquesDefaultToHalf) {
+  FactDatabase db;
+  db.AddSource({"idle", {0.5}});
+  const auto trust = SourceTrustworthiness(db, {});
+  EXPECT_DOUBLE_EQ(trust[0], 0.5);
+}
+
+TEST(SourceTrustTest, UnreliableRatio) {
+  EXPECT_DOUBLE_EQ(UnreliableSourceRatio({0.9, 0.4, 0.2, 0.6}), 0.5);
+  EXPECT_DOUBLE_EQ(UnreliableSourceRatio({}), 0.0);
+  // Exactly 0.5 counts as reliable (strict inequality in Alg. 1).
+  EXPECT_DOUBLE_EQ(UnreliableSourceRatio({0.5}), 0.0);
+}
+
+}  // namespace
+}  // namespace veritas

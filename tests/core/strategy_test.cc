@@ -1,0 +1,210 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+ICrfOptions FastOptions() {
+  ICrfOptions options;
+  options.gibbs.burn_in = 10;
+  options.gibbs.num_samples = 40;
+  options.max_em_iterations = 2;
+  return options;
+}
+
+GuidanceConfig SerialConfig() {
+  GuidanceConfig config;
+  config.variant = GuidanceVariant::kScalable;
+  config.candidate_pool = 0;
+  return config;
+}
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  StrategyTest() : corpus_(testing::MakeTinyCorpus(71, 20)) {}
+
+  void SetUp() override {
+    icrf_ = std::make_unique<ICrf>(&corpus_.db, FastOptions(), 11);
+    state_ = BeliefState(corpus_.db.num_claims());
+    ASSERT_TRUE(icrf_->Infer(&state_).ok());
+  }
+
+  EmulatedCorpus corpus_;
+  std::unique_ptr<ICrf> icrf_;
+  BeliefState state_;
+};
+
+TEST_F(StrategyTest, StrategyNamesAreStable) {
+  EXPECT_STREQ(StrategyName(StrategyKind::kRandom), "random");
+  EXPECT_STREQ(StrategyName(StrategyKind::kUncertainty), "uncertainty");
+  EXPECT_STREQ(StrategyName(StrategyKind::kInfoGain), "info");
+  EXPECT_STREQ(StrategyName(StrategyKind::kSource), "source");
+  EXPECT_STREQ(StrategyName(StrategyKind::kHybrid), "hybrid");
+}
+
+TEST_F(StrategyTest, HybridScoreFormula) {
+  EXPECT_NEAR(HybridScore(0.5, 0.3, 0.0), 1.0 - std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(HybridScore(0.5, 0.3, 1.0), 1.0 - std::exp(-0.3), 1e-12);
+  EXPECT_NEAR(HybridScore(0.0, 0.0, 0.5), 0.0, 1e-12);
+  EXPECT_GE(HybridScore(10.0, 10.0, 0.5), 0.99);
+}
+
+TEST_F(StrategyTest, CandidatePoolPicksMostUncertain) {
+  BeliefState state(4);
+  state.set_prob(0, 0.51);
+  state.set_prob(1, 0.95);
+  state.set_prob(2, 0.45);
+  state.set_prob(3, 0.05);
+  const auto pool = CandidatePool(state, 2);
+  std::set<ClaimId> chosen(pool.begin(), pool.end());
+  EXPECT_EQ(chosen, (std::set<ClaimId>{0, 2}));
+}
+
+TEST_F(StrategyTest, CandidatePoolZeroReturnsAllUnlabeled) {
+  EXPECT_EQ(CandidatePool(state_, 0).size(), corpus_.db.num_claims());
+  state_.SetLabel(0, true);
+  EXPECT_EQ(CandidatePool(state_, 0).size(), corpus_.db.num_claims() - 1);
+}
+
+TEST_F(StrategyTest, RandomStrategyExcludesLabeled) {
+  auto strategy = MakeStrategy(StrategyKind::kRandom, SerialConfig());
+  state_.SetLabel(3, true);
+  for (int i = 0; i < 20; ++i) {
+    auto selected = strategy->Select(*icrf_, state_);
+    ASSERT_TRUE(selected.ok());
+    EXPECT_NE(selected.value(), 3u);
+  }
+}
+
+TEST_F(StrategyTest, RandomStrategyErrorsWhenExhausted) {
+  auto strategy = MakeStrategy(StrategyKind::kRandom, SerialConfig());
+  for (size_t c = 0; c < corpus_.db.num_claims(); ++c) {
+    state_.SetLabel(static_cast<ClaimId>(c), true);
+  }
+  EXPECT_FALSE(strategy->Select(*icrf_, state_).ok());
+}
+
+TEST_F(StrategyTest, UncertaintyStrategyPicksClosestToHalf) {
+  auto strategy = MakeStrategy(StrategyKind::kUncertainty, SerialConfig());
+  auto ranked = strategy->Rank(*icrf_, state_, state_.num_claims());
+  ASSERT_TRUE(ranked.ok());
+  // The ranked list must be sorted by decreasing marginal entropy.
+  double previous = 1e9;
+  for (const ClaimId c : ranked.value()) {
+    const double entropy = BinaryEntropy(state_.prob(c));
+    EXPECT_LE(entropy, previous + 1e-12);
+    previous = entropy;
+  }
+}
+
+TEST_F(StrategyTest, InfoGainsAreFiniteAndMostlyNonNegative) {
+  const auto candidates = CandidatePool(state_, 0);
+  auto gains =
+      ComputeClaimInfoGains(*icrf_, state_, candidates, SerialConfig(), nullptr);
+  ASSERT_TRUE(gains.ok());
+  ASSERT_EQ(gains.value().size(), candidates.size());
+  for (const double gain : gains.value()) {
+    EXPECT_TRUE(std::isfinite(gain));
+  }
+  // Expected uncertainty reduction is theoretically non-negative; sampling
+  // noise may produce slightly negative estimates, but the bulk must be >= 0.
+  size_t non_negative = 0;
+  for (const double gain : gains.value()) {
+    if (gain >= -0.05) ++non_negative;
+  }
+  EXPECT_GE(non_negative * 10, candidates.size() * 9);
+}
+
+TEST_F(StrategyTest, InfoGainDeterministicAcrossRuns) {
+  const auto candidates = CandidatePool(state_, 0);
+  auto a = ComputeClaimInfoGains(*icrf_, state_, candidates, SerialConfig(),
+                                 nullptr);
+  auto b = ComputeClaimInfoGains(*icrf_, state_, candidates, SerialConfig(),
+                                 nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+TEST_F(StrategyTest, ParallelVariantMatchesSerialScores) {
+  const auto candidates = CandidatePool(state_, 0);
+  auto serial = ComputeClaimInfoGains(*icrf_, state_, candidates, SerialConfig(),
+                                      nullptr);
+  GuidanceConfig parallel_config = SerialConfig();
+  parallel_config.variant = GuidanceVariant::kParallelPartition;
+  ThreadPool pool(4);
+  auto parallel = ComputeClaimInfoGains(*icrf_, state_, candidates,
+                                        parallel_config, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.value()[i], parallel.value()[i]);
+  }
+}
+
+TEST_F(StrategyTest, SourceGainsComputable) {
+  const auto candidates = CandidatePool(state_, 0);
+  auto gains = ComputeSourceInfoGains(*icrf_, state_, candidates, SerialConfig(),
+                                      nullptr);
+  ASSERT_TRUE(gains.ok());
+  for (const double gain : gains.value()) EXPECT_TRUE(std::isfinite(gain));
+}
+
+TEST_F(StrategyTest, InfoGainStrategySelectsArgmax) {
+  GuidanceConfig config = SerialConfig();
+  auto strategy = MakeStrategy(StrategyKind::kInfoGain, config);
+  auto selected = strategy->Select(*icrf_, state_);
+  ASSERT_TRUE(selected.ok());
+  const auto candidates = CandidatePool(state_, 0);
+  auto gains = ComputeClaimInfoGains(*icrf_, state_, candidates, config, nullptr);
+  ASSERT_TRUE(gains.ok());
+  double best = -1e18;
+  for (const double gain : gains.value()) best = std::max(best, gain);
+  // The selected claim's gain must equal the maximum.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i] == selected.value()) {
+      EXPECT_NEAR(gains.value()[i], best, 1e-12);
+    }
+  }
+}
+
+TEST_F(StrategyTest, HybridRoutesByZ) {
+  auto strategy = MakeStrategy(StrategyKind::kHybrid, SerialConfig());
+  auto* control = dynamic_cast<HybridControl*>(strategy.get());
+  ASSERT_NE(control, nullptr);
+  EXPECT_DOUBLE_EQ(control->z(), 0.0);  // info-driven at the start
+  control->set_z(1.0);
+  EXPECT_DOUBLE_EQ(control->z(), 1.0);
+  control->set_z(5.0);  // clamped
+  EXPECT_DOUBLE_EQ(control->z(), 1.0);
+  auto selected = strategy->Select(*icrf_, state_);
+  EXPECT_TRUE(selected.ok());
+}
+
+TEST_F(StrategyTest, RankedListsHaveNoDuplicates) {
+  for (const StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kUncertainty, StrategyKind::kInfoGain,
+        StrategyKind::kSource, StrategyKind::kHybrid}) {
+    auto strategy = MakeStrategy(kind, SerialConfig());
+    auto ranked = strategy->Rank(*icrf_, state_, 5);
+    ASSERT_TRUE(ranked.ok()) << StrategyName(kind);
+    std::set<ClaimId> unique(ranked.value().begin(), ranked.value().end());
+    EXPECT_EQ(unique.size(), ranked.value().size()) << StrategyName(kind);
+    for (const ClaimId c : ranked.value()) {
+      EXPECT_FALSE(state_.IsLabeled(c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,173 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+StreamingOptions FastStreaming() {
+  StreamingOptions options;
+  options.icrf.gibbs.burn_in = 8;
+  options.icrf.gibbs.num_samples = 30;
+  options.icrf.max_em_iterations = 2;
+  options.tron_iterations_per_arrival = 4;
+  return options;
+}
+
+/// Replays an emulated corpus into a streaming checker: registers all
+/// sources/documents up front, then streams claims in id order.
+void ReplayStructure(const EmulatedCorpus& corpus, StreamingFactChecker* stream) {
+  for (size_t s = 0; s < corpus.db.num_sources(); ++s) {
+    stream->AddSource(corpus.db.source(static_cast<SourceId>(s)));
+  }
+  for (size_t d = 0; d < corpus.db.num_documents(); ++d) {
+    stream->AddDocument(corpus.db.document(static_cast<DocumentId>(d)));
+  }
+}
+
+std::vector<std::pair<DocumentId, Stance>> MentionsOf(const FactDatabase& db,
+                                                      ClaimId claim) {
+  std::vector<std::pair<DocumentId, Stance>> mentions;
+  for (const size_t ci : db.ClaimCliques(claim)) {
+    mentions.emplace_back(db.clique(ci).document, db.clique(ci).stance);
+  }
+  return mentions;
+}
+
+TEST(StreamingTest, ArrivalsGrowDatabaseAndState) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(173, 16);
+  StreamingFactChecker stream(FastStreaming());
+  ReplayStructure(corpus, &stream);
+  for (size_t c = 0; c < 5; ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    auto stats = stream.OnClaimArrival(corpus.db.claim(id),
+                                       MentionsOf(corpus.db, id), true,
+                                       corpus.db.ground_truth(id));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().claim, id);
+    EXPECT_GE(stats.value().update_seconds, 0.0);
+  }
+  EXPECT_EQ(stream.db().num_claims(), 5u);
+  EXPECT_EQ(stream.state().num_claims(), 5u);
+  EXPECT_EQ(stream.arrivals(), 5u);
+}
+
+TEST(StreamingTest, InitialProbabilitiesAreValid) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(179, 16);
+  StreamingFactChecker stream(FastStreaming());
+  ReplayStructure(corpus, &stream);
+  for (size_t c = 0; c < corpus.db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    auto stats = stream.OnClaimArrival(corpus.db.claim(id),
+                                       MentionsOf(corpus.db, id), true,
+                                       corpus.db.ground_truth(id));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE(stats.value().initial_prob, 0.0);
+    EXPECT_LE(stats.value().initial_prob, 1.0);
+  }
+}
+
+TEST(StreamingTest, UnlabeledStreamingStaysAtNeutralFixedPoint) {
+  // Without any user input the expected-likelihood surrogate is maximized by
+  // theta = 0 (all targets are the model's own 0.5 estimates): streaming
+  // alone must not hallucinate signal.
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(181, 20);
+  StreamingFactChecker stream(FastStreaming());
+  ReplayStructure(corpus, &stream);
+  for (size_t c = 0; c < corpus.db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    ASSERT_TRUE(stream
+                    .OnClaimArrival(corpus.db.claim(id), MentionsOf(corpus.db, id),
+                                    true, corpus.db.ground_truth(id))
+                    .ok());
+  }
+  double norm = 0.0;
+  for (const double w : stream.weights()) norm += w * w;
+  EXPECT_LT(norm, 1.0);
+}
+
+TEST(StreamingTest, UserLabelsMoveWeights) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(181, 20);
+  StreamingFactChecker stream(FastStreaming());
+  ReplayStructure(corpus, &stream);
+  for (size_t c = 0; c < corpus.db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    ASSERT_TRUE(stream
+                    .OnClaimArrival(corpus.db.claim(id), MentionsOf(corpus.db, id),
+                                    true, corpus.db.ground_truth(id))
+                    .ok());
+  }
+  // Validation hands back labels (Alg. 1 -> Alg. 2): weights must react.
+  for (ClaimId id = 0; id < 6; ++id) {
+    auto stats = stream.OnUserLabel(id, corpus.db.ground_truth(id));
+    ASSERT_TRUE(stats.ok());
+  }
+  double norm = 0.0;
+  for (const double w : stream.weights()) norm += w * w;
+  EXPECT_GT(norm, 1e-6);
+  EXPECT_TRUE(stream.state().IsLabeled(3));
+  // Unknown claims are rejected.
+  EXPECT_FALSE(stream.OnUserLabel(10000, true).ok());
+}
+
+TEST(StreamingTest, SetWeightsHandsOffParameters) {
+  StreamingFactChecker stream(FastStreaming());
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(191, 12);
+  ReplayStructure(corpus, &stream);
+  ASSERT_TRUE(stream
+                  .OnClaimArrival(corpus.db.claim(0), MentionsOf(corpus.db, 0),
+                                  true, corpus.db.ground_truth(0))
+                  .ok());
+  std::vector<double> weights(stream.weights().size(), 0.25);
+  stream.SetWeights(weights);
+  EXPECT_DOUBLE_EQ(stream.weights()[0], 0.25);
+}
+
+TEST(StreamingTest, SyncForValidationRunsFullInference) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(193, 16);
+  StreamingFactChecker stream(FastStreaming());
+  ReplayStructure(corpus, &stream);
+  for (size_t c = 0; c < corpus.db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    ASSERT_TRUE(stream
+                    .OnClaimArrival(corpus.db.claim(id), MentionsOf(corpus.db, id),
+                                    true, corpus.db.ground_truth(id))
+                    .ok());
+  }
+  auto stats = stream.SyncForValidation();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stream.icrf()->ready());
+  // After syncing, labels can be applied and inference re-run.
+  stream.mutable_state()->SetLabel(0, corpus.db.ground_truth(0));
+  EXPECT_TRUE(stream.icrf()->Infer(stream.mutable_state()).ok());
+}
+
+TEST(StreamingTest, StreamedModelLearnsDiscriminativeSignal) {
+  // After streaming a corpus with informative features, the claim estimates
+  // should beat a coin flip against the ground truth.
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(197, 60);
+  StreamingFactChecker stream(FastStreaming());
+  ReplayStructure(corpus, &stream);
+  size_t correct = 0;
+  size_t scored = 0;
+  for (size_t c = 0; c < corpus.db.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    auto stats = stream.OnClaimArrival(corpus.db.claim(id),
+                                       MentionsOf(corpus.db, id), true,
+                                       corpus.db.ground_truth(id));
+    ASSERT_TRUE(stats.ok());
+    // Score the second half, once the model has had data to learn from.
+    if (c >= corpus.db.num_claims() / 2) {
+      ++scored;
+      const bool predicted = stats.value().initial_prob >= 0.5;
+      if (predicted == corpus.db.ground_truth(id)) ++correct;
+    }
+  }
+  ASSERT_GT(scored, 0u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(scored), 0.5);
+}
+
+}  // namespace
+}  // namespace veritas

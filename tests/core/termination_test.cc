@@ -1,0 +1,164 @@
+#include "core/termination.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TerminationSignals Signals(double entropy, size_t changes, bool matched,
+                           double cv = -1.0) {
+  TerminationSignals signals;
+  signals.entropy = entropy;
+  signals.grounding_changes = changes;
+  signals.num_claims = 100;
+  signals.prediction_matched_input = matched;
+  signals.cv_precision = cv;
+  return signals;
+}
+
+TEST(TerminationTest, NothingArmedNeverStops) {
+  TerminationMonitor monitor{TerminationOptions{}};
+  for (int i = 0; i < 50; ++i) monitor.Observe(Signals(0.0, 0, true, 1.0));
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+}
+
+TEST(TerminationTest, UrrFiresAfterPatienceCalmRounds) {
+  TerminationOptions options;
+  options.enable_urr = true;
+  options.urr_threshold = 0.1;
+  options.urr_patience = 3;
+  TerminationMonitor monitor(options);
+  // Rapidly dropping entropy: URR large, no stop.
+  monitor.Observe(Signals(100.0, 10, true));
+  monitor.Observe(Signals(50.0, 10, true));
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+  // Entropy plateaus: three calm rounds trigger the stop.
+  monitor.Observe(Signals(49.0, 10, true));
+  monitor.Observe(Signals(48.8, 10, true));
+  monitor.Observe(Signals(48.7, 10, true));
+  EXPECT_TRUE(monitor.ShouldStop(&reason));
+  EXPECT_EQ(reason, "uncertainty-reduction-rate");
+}
+
+TEST(TerminationTest, UrrResetsOnLargeDrop) {
+  TerminationOptions options;
+  options.enable_urr = true;
+  options.urr_threshold = 0.1;
+  options.urr_patience = 2;
+  TerminationMonitor monitor(options);
+  monitor.Observe(Signals(100.0, 0, true));
+  monitor.Observe(Signals(99.0, 0, true));  // calm 1
+  monitor.Observe(Signals(50.0, 0, true));  // big drop resets
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+}
+
+TEST(TerminationTest, CngFiresWhenGroundingStabilizes) {
+  TerminationOptions options;
+  options.enable_cng = true;
+  options.cng_threshold = 0.02;  // < 2 changes per 100 claims
+  options.cng_patience = 2;
+  TerminationMonitor monitor(options);
+  monitor.Observe(Signals(10.0, 50, true));
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+  monitor.Observe(Signals(10.0, 1, true));
+  monitor.Observe(Signals(10.0, 0, true));
+  EXPECT_TRUE(monitor.ShouldStop(&reason));
+  EXPECT_EQ(reason, "grounding-changes");
+}
+
+TEST(TerminationTest, PreFiresOnConsecutiveMatches) {
+  TerminationOptions options;
+  options.enable_pre = true;
+  options.pre_streak = 3;
+  TerminationMonitor monitor(options);
+  monitor.Observe(Signals(10.0, 5, true));
+  monitor.Observe(Signals(10.0, 5, true));
+  monitor.Observe(Signals(10.0, 5, false));  // mismatch resets the streak
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+  monitor.Observe(Signals(10.0, 5, true));
+  monitor.Observe(Signals(10.0, 5, true));
+  monitor.Observe(Signals(10.0, 5, true));
+  EXPECT_TRUE(monitor.ShouldStop(&reason));
+  EXPECT_EQ(reason, "validated-predictions");
+}
+
+TEST(TerminationTest, PirFiresWhenCvPrecisionPlateaus) {
+  TerminationOptions options;
+  options.enable_pir = true;
+  options.pir_threshold = 0.02;
+  options.pir_patience = 2;
+  TerminationMonitor monitor(options);
+  monitor.Observe(Signals(10.0, 5, true, 0.5));
+  monitor.Observe(Signals(10.0, 5, true, 0.7));  // 40% improvement: active
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+  monitor.Observe(Signals(10.0, 5, true, 0.705));
+  monitor.Observe(Signals(10.0, 5, true, 0.706));
+  EXPECT_TRUE(monitor.ShouldStop(&reason));
+  EXPECT_EQ(reason, "precision-improvement-rate");
+}
+
+TEST(TerminationTest, PirIgnoresIterationsWithoutCv) {
+  TerminationOptions options;
+  options.enable_pir = true;
+  options.pir_patience = 1;
+  TerminationMonitor monitor(options);
+  monitor.Observe(Signals(10.0, 5, true, 0.5));
+  for (int i = 0; i < 20; ++i) monitor.Observe(Signals(10.0, 5, true, -1.0));
+  std::string reason;
+  EXPECT_FALSE(monitor.ShouldStop(&reason));
+}
+
+TEST(TerminationTest, IndicatorAccessorsExposeValues) {
+  TerminationMonitor monitor{TerminationOptions{}};
+  monitor.Observe(Signals(100.0, 5, true));
+  monitor.Observe(Signals(80.0, 3, true));
+  EXPECT_NEAR(monitor.last_urr(), 0.2, 1e-12);
+  EXPECT_NEAR(monitor.last_cng_rate(), 0.03, 1e-12);
+  EXPECT_EQ(monitor.prediction_streak(), 2u);
+}
+
+TEST(CvPrecisionTest, RequiresEnoughLabels) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(89);
+  ICrfOptions options;
+  options.gibbs.burn_in = 8;
+  options.gibbs.num_samples = 30;
+  options.max_em_iterations = 2;
+  ICrf icrf(&corpus.db, options, 5);
+  BeliefState state(corpus.db.num_claims());
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+  Rng rng(1);
+  EXPECT_FALSE(EstimateCvPrecision(icrf, state, 5, &rng).ok());
+}
+
+TEST(CvPrecisionTest, HighWhenLabelsAgreeWithModel) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(97, 30);
+  const FactDatabase& db = corpus.db;
+  ICrfOptions options;
+  options.gibbs.burn_in = 10;
+  options.gibbs.num_samples = 40;
+  options.max_em_iterations = 3;
+  ICrf icrf(&db, options, 6);
+  BeliefState state(db.num_claims());
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    state.SetLabel(static_cast<ClaimId>(c), db.ground_truth(static_cast<ClaimId>(c)));
+  }
+  ASSERT_TRUE(icrf.Infer(&state).ok());
+  Rng rng(2);
+  auto precision = EstimateCvPrecision(icrf, state, 5, &rng);
+  ASSERT_TRUE(precision.ok());
+  EXPECT_GE(precision.value(), 0.0);
+  EXPECT_LE(precision.value(), 1.0);
+  EXPECT_GT(precision.value(), 0.5);  // trained on the truth: well above chance
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,87 @@
+#include "core/user_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TEST(OracleUserTest, AnswersGroundTruth) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  OracleUser oracle;
+  bool skipped = true;
+  EXPECT_TRUE(oracle.Validate(db, 0, &skipped));
+  EXPECT_FALSE(skipped);
+  EXPECT_TRUE(oracle.Validate(db, 1, &skipped));
+  EXPECT_FALSE(oracle.Validate(db, 2, &skipped));
+}
+
+TEST(OracleUserTest, MissingTruthDefaultsToNonCredible) {
+  FactDatabase db;
+  db.AddClaim({"unknown"});
+  OracleUser oracle;
+  EXPECT_FALSE(oracle.Validate(db, 0, nullptr));
+}
+
+TEST(ErroneousUserTest, ZeroErrorRateIsOracle) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  ErroneousUser user(0.0, 1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(user.Validate(db, 0, nullptr));
+    EXPECT_FALSE(user.Validate(db, 2, nullptr));
+  }
+  EXPECT_EQ(user.mistakes_made(), 0u);
+}
+
+TEST(ErroneousUserTest, FullErrorRateAlwaysFlips) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  ErroneousUser user(1.0, 2);
+  EXPECT_FALSE(user.Validate(db, 0, nullptr));
+  EXPECT_TRUE(user.Validate(db, 2, nullptr));
+  EXPECT_EQ(user.mistakes_made(), 2u);
+}
+
+TEST(ErroneousUserTest, ErrorFrequencyMatchesRate) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  ErroneousUser user(0.25, 3);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) user.Validate(db, 0, nullptr);
+  EXPECT_NEAR(static_cast<double>(user.mistakes_made()) / n, 0.25, 0.03);
+}
+
+TEST(SkippingUserTest, NeverSkipsAtZeroRate) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  SkippingUser user(0.0, 4);
+  bool skipped = true;
+  EXPECT_TRUE(user.Validate(db, 0, &skipped));
+  EXPECT_FALSE(skipped);
+  EXPECT_EQ(user.skips(), 0u);
+}
+
+TEST(SkippingUserTest, SkipFrequencyMatchesRate) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  SkippingUser user(0.3, 5);
+  int skips = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    bool skipped = false;
+    user.Validate(db, 0, &skipped);
+    skips += skipped ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(skips) / n, 0.3, 0.03);
+  EXPECT_EQ(user.skips(), static_cast<size_t>(skips));
+}
+
+TEST(SkippingUserTest, AnswersAreTruthfulWhenNotSkipping) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  SkippingUser user(0.5, 6);
+  for (int i = 0; i < 50; ++i) {
+    bool skipped = false;
+    const bool answer = user.Validate(db, 2, &skipped);
+    EXPECT_FALSE(answer);  // truth of claim 2 is false regardless of skipping
+  }
+}
+
+}  // namespace
+}  // namespace veritas

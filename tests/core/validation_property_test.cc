@@ -1,0 +1,156 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+ValidationOptions FastOptions(StrategyKind strategy, size_t batch, uint64_t seed) {
+  ValidationOptions options;
+  options.icrf.gibbs.burn_in = 8;
+  options.icrf.gibbs.num_samples = 30;
+  options.icrf.max_em_iterations = 2;
+  options.guidance.variant = GuidanceVariant::kScalable;
+  options.guidance.candidate_pool = 12;
+  options.strategy = strategy;
+  options.batch_size = batch;
+  options.target_precision = 2.0;
+  options.seed = seed;
+  return options;
+}
+
+/// Invariants of Algorithm 1 that must hold for every strategy and batch
+/// size: budget respected, effort strictly monotone, labels consistent with
+/// user answers, trace bookkeeping coherent, and perfect precision once all
+/// claims carry correct labels.
+class ValidationInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, size_t>> {};
+
+TEST_P(ValidationInvariantsTest, CoreInvariantsHold) {
+  const auto [strategy, batch] = GetParam();
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(401, 18);
+  OracleUser user;
+  ValidationOptions options = FastOptions(strategy, batch, 901);
+  options.budget = 12;
+  ValidationProcess process(&corpus.db, &user, options);
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok()) << StrategyName(strategy) << " batch " << batch;
+
+  // Budget: number of validations never exceeds it (batches may stop early).
+  EXPECT_LE(outcome.value().validations, options.budget + batch - 1);
+
+  // Effort strictly increases, precision stays in [0, 1], answers align
+  // with the oracle's ground truth.
+  double previous_effort = 0.0;
+  for (const IterationRecord& record : outcome.value().trace) {
+    EXPECT_GT(record.effort, previous_effort);
+    previous_effort = record.effort;
+    EXPECT_GE(record.precision, 0.0);
+    EXPECT_LE(record.precision, 1.0);
+    ASSERT_EQ(record.claims.size(), record.answers.size());
+    for (size_t i = 0; i < record.claims.size(); ++i) {
+      EXPECT_EQ(record.answers[i] != 0,
+                corpus.db.ground_truth(record.claims[i]));
+    }
+  }
+
+  // State bookkeeping: labeled count equals the number of validated claims.
+  size_t labeled = 0;
+  for (const IterationRecord& record : outcome.value().trace) {
+    labeled += record.claims.size();
+  }
+  EXPECT_EQ(outcome.value().state.labeled_count(), labeled);
+  // Oracle labels match the ground truth in the final state.
+  for (const ClaimId c : outcome.value().state.LabeledClaims()) {
+    EXPECT_EQ(outcome.value().state.label(c) == ClaimLabel::kCredible,
+              corpus.db.ground_truth(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ValidationInvariantsTest,
+    ::testing::Combine(::testing::Values(StrategyKind::kRandom,
+                                         StrategyKind::kUncertainty,
+                                         StrategyKind::kInfoGain,
+                                         StrategyKind::kSource,
+                                         StrategyKind::kHybrid),
+                       ::testing::Values<size_t>(1, 3)));
+
+/// Fully labelling a corpus with an oracle always yields precision 1.
+class FullLabelPrecisionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FullLabelPrecisionTest, ExhaustiveOracleRunIsPerfect) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(GetParam(), 14);
+  OracleUser user;
+  ValidationOptions options = FastOptions(StrategyKind::kRandom, 1, GetParam());
+  options.budget = corpus.db.num_claims();
+  ValidationProcess process(&corpus.db, &user, options);
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome.value().final_precision, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.value().state.Effort(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullLabelPrecisionTest,
+                         ::testing::Values(421, 431, 433));
+
+/// The z-score stays in [0, 1] and responds to its inputs as Eq. 23 says.
+TEST(HybridScorePropertyTest, MonotoneInBothRates) {
+  for (double h : {0.0, 0.3, 0.7, 1.0}) {
+    double previous = -1.0;
+    for (double err : {0.0, 0.2, 0.5, 1.0}) {
+      const double z = HybridScore(err, 0.3, h);
+      EXPECT_GE(z, 0.0);
+      EXPECT_LE(z, 1.0);
+      if (h < 1.0) {
+        EXPECT_GE(z + 1e-12, previous);  // monotone in the error rate
+      }
+      previous = z;
+    }
+  }
+  // Monotone in the unreliable-source ratio when h > 0.
+  EXPECT_LT(HybridScore(0.2, 0.1, 0.8), HybridScore(0.2, 0.9, 0.8));
+}
+
+/// Confirmation checks never fire when disabled, regardless of user errors.
+TEST(ValidationPropertyTest, NoConfirmationWhenDisabled) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(439, 16);
+  ErroneousUser user(0.4, 71);
+  ValidationOptions options = FastOptions(StrategyKind::kUncertainty, 1, 911);
+  options.budget = corpus.db.num_claims();
+  options.confirmation_interval = 0;
+  ValidationProcess process(&corpus.db, &user, options);
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().mistakes_detected, 0u);
+  EXPECT_EQ(outcome.value().mistakes_repaired, 0u);
+  EXPECT_EQ(outcome.value().validations, corpus.db.num_claims());
+}
+
+/// The effort budget is an exact bound in single-claim mode even with
+/// repairs enabled (repairs consume budget too).
+TEST(ValidationPropertyTest, RepairsConsumeBudget) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(443, 20);
+  ErroneousUser user(0.3, 73);
+  ValidationOptions options = FastOptions(StrategyKind::kHybrid, 1, 913);
+  options.budget = 15;
+  options.confirmation_interval = 3;
+  ValidationProcess process(&corpus.db, &user, options);
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok());
+  // Validations = labels + reconsiderations; the loop stops once the
+  // budget is consumed (the final iteration may push slightly past it by
+  // at most the size of one confirmation sweep).
+  EXPECT_GE(outcome.value().validations, 15u);
+  size_t labels = 0;
+  for (const IterationRecord& record : outcome.value().trace) {
+    labels += record.claims.size();
+  }
+  EXPECT_LE(labels, 15u);
+}
+
+}  // namespace
+}  // namespace veritas

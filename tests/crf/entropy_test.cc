@@ -1,0 +1,141 @@
+#include "crf/entropy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace veritas {
+namespace {
+
+TEST(ApproxEntropyTest, SumOfBernoulliEntropies) {
+  const std::vector<double> probs{0.5, 0.5, 1.0, 0.0};
+  EXPECT_NEAR(ApproxDatabaseEntropy(probs), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(ApproxEntropyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(ApproxDatabaseEntropy({}), 0.0);
+}
+
+TEST(ApproxEntropyTest, SubsetRestrictsScope) {
+  const std::vector<double> probs{0.5, 0.9, 0.5};
+  const std::vector<ClaimId> subset{0, 1};
+  EXPECT_NEAR(ApproxSubsetEntropy(probs, subset),
+              std::log(2.0) + BinaryEntropy(0.9), 1e-12);
+}
+
+TEST(ApproxEntropyTest, SubsetIgnoresOutOfRangeIds) {
+  const std::vector<double> probs{0.5};
+  const std::vector<ClaimId> subset{0, 99};
+  EXPECT_NEAR(ApproxSubsetEntropy(probs, subset), std::log(2.0), 1e-12);
+}
+
+TEST(MarginalEntropiesTest, PerClaimValues) {
+  const auto entropies = MarginalEntropies({0.5, 1.0});
+  EXPECT_NEAR(entropies[0], std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(entropies[1], 0.0);
+}
+
+ClaimMrf ChainMrf(const std::vector<double>& fields,
+                  const std::vector<double>& couplings) {
+  ClaimMrf mrf;
+  mrf.field = fields;
+  for (size_t i = 0; i < couplings.size(); ++i) {
+    mrf.edges.push_back(
+        {static_cast<ClaimId>(i), static_cast<ClaimId>(i + 1), couplings[i]});
+  }
+  mrf.RebuildAdjacency();
+  return mrf;
+}
+
+TEST(ExactEntropyTest, TreePathUsedForAcyclicGraphs) {
+  const ClaimMrf mrf = ChainMrf({0.2, -0.4, 0.1}, {0.5, -0.3});
+  BeliefState state(3);
+  auto exact = ExactDatabaseEntropy(mrf, state);
+  ASSERT_TRUE(exact.ok());
+  auto enumerated = ExactInference(mrf, state);
+  ASSERT_TRUE(enumerated.ok());
+  EXPECT_NEAR(exact.value(), enumerated.value().entropy, 1e-9);
+}
+
+TEST(ExactEntropyTest, CyclicFallsBackToEnumeration) {
+  ClaimMrf mrf;
+  mrf.field = {0.1, 0.2, 0.3};
+  mrf.edges = {{0, 1, 0.5}, {1, 2, 0.5}, {0, 2, 0.5}};
+  mrf.RebuildAdjacency();
+  BeliefState state(3);
+  auto exact = ExactDatabaseEntropy(mrf, state, 20);
+  ASSERT_TRUE(exact.ok());
+  auto enumerated = ExactInference(mrf, state);
+  ASSERT_TRUE(enumerated.ok());
+  EXPECT_NEAR(exact.value(), enumerated.value().entropy, 1e-9);
+}
+
+TEST(ExactEntropyTest, LargeCyclicGraphErrors) {
+  // 30-claim cycle exceeds the enumeration cap.
+  ClaimMrf mrf;
+  mrf.field.assign(30, 0.0);
+  for (ClaimId i = 0; i < 30; ++i) {
+    mrf.edges.push_back({i, static_cast<ClaimId>((i + 1) % 30), 0.2});
+  }
+  mrf.RebuildAdjacency();
+  BeliefState state(30);
+  EXPECT_FALSE(ExactDatabaseEntropy(mrf, state, 20).ok());
+}
+
+TEST(ExactEntropyTest, ApproxUpperBoundsExactUnderCoupling) {
+  // Marginal (approx) entropy >= joint (exact) entropy: independence bound.
+  const ClaimMrf mrf = ChainMrf({0.0, 0.0, 0.0}, {1.0, 1.0});
+  BeliefState state(3);
+  auto exact = ExactInference(mrf, state);
+  ASSERT_TRUE(exact.ok());
+  const double approx = ApproxDatabaseEntropy(exact.value().marginals);
+  EXPECT_GE(approx + 1e-9, exact.value().entropy);
+  EXPECT_GT(approx - exact.value().entropy, 0.2);  // strictly looser here
+}
+
+TEST(ExactEntropyTest, LabelsReduceEntropy) {
+  const ClaimMrf mrf = ChainMrf({0.1, 0.1, 0.1}, {0.4, 0.4});
+  BeliefState unlabeled(3);
+  BeliefState labeled(3);
+  labeled.SetLabel(1, true);
+  auto h_unlabeled = ExactDatabaseEntropy(mrf, unlabeled);
+  auto h_labeled = ExactDatabaseEntropy(mrf, labeled);
+  ASSERT_TRUE(h_unlabeled.ok());
+  ASSERT_TRUE(h_labeled.ok());
+  EXPECT_LT(h_labeled.value(), h_unlabeled.value());
+}
+
+TEST(ComponentEntropyTest, ComponentsDecomposeAdditively) {
+  // Two disconnected chains; total exact entropy = sum of component
+  // entropies.
+  ClaimMrf mrf;
+  mrf.field = {0.2, -0.1, 0.4, 0.3};
+  mrf.edges = {{0, 1, 0.6}, {2, 3, -0.5}};
+  mrf.RebuildAdjacency();
+  BeliefState state(4);
+  auto total = ExactDatabaseEntropy(mrf, state);
+  auto left = ExactComponentEntropy(mrf, state, {0, 1});
+  auto right = ExactComponentEntropy(mrf, state, {2, 3});
+  ASSERT_TRUE(total.ok());
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  EXPECT_NEAR(total.value(), left.value() + right.value(), 1e-9);
+}
+
+TEST(ComponentEntropyTest, RespectsLabelsInsideComponent) {
+  ClaimMrf mrf;
+  mrf.field = {0.0, 0.0};
+  mrf.edges = {{0, 1, 0.8}};
+  mrf.RebuildAdjacency();
+  BeliefState state(2);
+  state.SetLabel(0, true);
+  auto entropy = ExactComponentEntropy(mrf, state, {0, 1});
+  ASSERT_TRUE(entropy.ok());
+  // Only claim 1 is free, conditioned on t_0 = +1: H = H(sigmoid(2*0.8)).
+  EXPECT_NEAR(entropy.value(), BinaryEntropy(Sigmoid(1.6)), 1e-9);
+}
+
+}  // namespace
+}  // namespace veritas

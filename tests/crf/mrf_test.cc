@@ -1,0 +1,221 @@
+#include "crf/mrf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace veritas {
+namespace {
+
+ClaimMrf ChainMrf(const std::vector<double>& fields,
+                  const std::vector<double>& couplings) {
+  ClaimMrf mrf;
+  mrf.field = fields;
+  for (size_t i = 0; i < couplings.size(); ++i) {
+    mrf.edges.push_back(
+        {static_cast<ClaimId>(i), static_cast<ClaimId>(i + 1), couplings[i]});
+  }
+  mrf.RebuildAdjacency();
+  return mrf;
+}
+
+TEST(MrfTest, RebuildAdjacencyMirrorsEdges) {
+  const ClaimMrf mrf = ChainMrf({0.0, 0.0, 0.0}, {0.5, -0.2});
+  ASSERT_EQ(mrf.adjacency.size(), 3u);
+  EXPECT_EQ(mrf.adjacency[0].size(), 1u);
+  EXPECT_EQ(mrf.adjacency[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(mrf.adjacency[1][0].second, 0.5);
+}
+
+TEST(MrfTest, LogMeasureMatchesHandComputation) {
+  const ClaimMrf mrf = ChainMrf({0.3, -0.2}, {0.4});
+  // config [1, 0]: spins +1, -1 -> 0.3*1 + (-0.2)*(-1) + 0.4*1*(-1) = 0.1.
+  EXPECT_NEAR(LogMeasure(mrf, {1, 0}), 0.3 + 0.2 - 0.4, 1e-12);
+  // config [1, 1]: 0.3 - 0.2 + 0.4 = 0.5.
+  EXPECT_NEAR(LogMeasure(mrf, {1, 1}), 0.5, 1e-12);
+}
+
+TEST(ExactInferenceTest, SingleClaimMatchesSigmoid) {
+  ClaimMrf mrf;
+  mrf.field = {0.7};
+  mrf.RebuildAdjacency();
+  BeliefState state(1);
+  auto result = ExactInference(mrf, state);
+  ASSERT_TRUE(result.ok());
+  // P(t=+1) = e^f / (e^f + e^-f) = sigmoid(2 f).
+  EXPECT_NEAR(result.value().marginals[0], Sigmoid(1.4), 1e-12);
+  EXPECT_NEAR(result.value().log_partition,
+              std::log(std::exp(0.7) + std::exp(-0.7)), 1e-12);
+}
+
+TEST(ExactInferenceTest, IndependentClaimsEntropyIsSumOfBernoullis) {
+  ClaimMrf mrf;
+  mrf.field = {0.5, -0.3};
+  mrf.RebuildAdjacency();
+  BeliefState state(2);
+  auto result = ExactInference(mrf, state);
+  ASSERT_TRUE(result.ok());
+  const double expected =
+      BinaryEntropy(Sigmoid(1.0)) + BinaryEntropy(Sigmoid(-0.6));
+  EXPECT_NEAR(result.value().entropy, expected, 1e-9);
+}
+
+TEST(ExactInferenceTest, PositiveCouplingCorrelatesClaims) {
+  // Zero fields with strong coupling: marginals stay 0.5 but entropy drops
+  // below 2 ln 2 because configurations align.
+  const ClaimMrf mrf = ChainMrf({0.0, 0.0}, {1.5});
+  BeliefState state(2);
+  auto result = ExactInference(mrf, state);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().marginals[0], 0.5, 1e-9);
+  EXPECT_LT(result.value().entropy, 2.0 * std::log(2.0) - 0.3);
+}
+
+TEST(ExactInferenceTest, LabeledClaimsAreClamped) {
+  const ClaimMrf mrf = ChainMrf({0.0, 0.0}, {2.0});
+  BeliefState state(2);
+  state.SetLabel(0, true);
+  auto result = ExactInference(mrf, state);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().marginals[0], 1.0);
+  // Strong positive coupling pulls the free claim towards credible.
+  EXPECT_GT(result.value().marginals[1], 0.9);
+}
+
+TEST(ExactInferenceTest, TooManyFreeClaimsErrors) {
+  ClaimMrf mrf;
+  mrf.field.assign(25, 0.0);
+  mrf.RebuildAdjacency();
+  BeliefState state(25);
+  auto result = ExactInference(mrf, state, 20);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TreeSumProductTest, MatchesExactOnChain) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> fields(6), couplings(5);
+    for (auto& f : fields) f = rng.Uniform(-1.0, 1.0);
+    for (auto& j : couplings) j = rng.Uniform(-0.8, 0.8);
+    const ClaimMrf mrf = ChainMrf(fields, couplings);
+    BeliefState state(6);
+    auto exact = ExactInference(mrf, state);
+    auto tree = TreeSumProduct(mrf, state);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(tree.ok());
+    EXPECT_NEAR(tree.value().log_partition, exact.value().log_partition, 1e-9);
+    EXPECT_NEAR(tree.value().entropy, exact.value().entropy, 1e-9);
+    for (size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(tree.value().marginals[c], exact.value().marginals[c], 1e-9);
+    }
+  }
+}
+
+TEST(TreeSumProductTest, MatchesExactOnStarWithLabels) {
+  // Star: center 0 coupled to leaves 1..4.
+  ClaimMrf mrf;
+  mrf.field = {0.2, -0.1, 0.3, 0.0, -0.4};
+  for (ClaimId leaf = 1; leaf <= 4; ++leaf) {
+    mrf.edges.push_back({0, leaf, 0.5});
+  }
+  mrf.RebuildAdjacency();
+  BeliefState state(5);
+  state.SetLabel(2, false);
+  auto exact = ExactInference(mrf, state);
+  auto tree = TreeSumProduct(mrf, state);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree.value().log_partition, exact.value().log_partition, 1e-9);
+  EXPECT_NEAR(tree.value().entropy, exact.value().entropy, 1e-9);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_NEAR(tree.value().marginals[c], exact.value().marginals[c], 1e-9);
+  }
+}
+
+TEST(TreeSumProductTest, HandlesForests) {
+  // Two disconnected chains.
+  ClaimMrf mrf;
+  mrf.field = {0.3, -0.3, 0.5, 0.1};
+  mrf.edges.push_back({0, 1, 0.6});
+  mrf.edges.push_back({2, 3, -0.4});
+  mrf.RebuildAdjacency();
+  BeliefState state(4);
+  auto exact = ExactInference(mrf, state);
+  auto tree = TreeSumProduct(mrf, state);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree.value().log_partition, exact.value().log_partition, 1e-9);
+  EXPECT_NEAR(tree.value().entropy, exact.value().entropy, 1e-9);
+}
+
+TEST(TreeSumProductTest, DetectsCycles) {
+  ClaimMrf mrf;
+  mrf.field = {0.0, 0.0, 0.0};
+  mrf.edges.push_back({0, 1, 0.5});
+  mrf.edges.push_back({1, 2, 0.5});
+  mrf.edges.push_back({0, 2, 0.5});
+  mrf.RebuildAdjacency();
+  BeliefState state(3);
+  auto tree = TreeSumProduct(mrf, state);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TreeSumProductTest, CycleAmongLabeledClaimsIsFine) {
+  // The cycle 0-1-2 collapses once claims 1, 2 are clamped.
+  ClaimMrf mrf;
+  mrf.field = {0.0, 0.0, 0.0};
+  mrf.edges.push_back({0, 1, 0.5});
+  mrf.edges.push_back({1, 2, 0.5});
+  mrf.edges.push_back({0, 2, 0.5});
+  mrf.RebuildAdjacency();
+  BeliefState state(3);
+  state.SetLabel(1, true);
+  state.SetLabel(2, false);
+  auto tree = TreeSumProduct(mrf, state);
+  ASSERT_TRUE(tree.ok());
+  auto exact = ExactInference(mrf, state);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(tree.value().marginals[0], exact.value().marginals[0], 1e-9);
+  EXPECT_NEAR(tree.value().log_partition, exact.value().log_partition, 1e-9);
+}
+
+class RandomTreeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTreeTest, TreeBpMatchesEnumerationOnRandomTrees) {
+  Rng rng(GetParam());
+  const size_t n = 3 + rng.UniformInt(8);
+  ClaimMrf mrf;
+  mrf.field.resize(n);
+  for (auto& f : mrf.field) f = rng.Uniform(-1.5, 1.5);
+  // Random tree: attach node i to a random earlier node.
+  for (ClaimId i = 1; i < n; ++i) {
+    const ClaimId parent = static_cast<ClaimId>(rng.UniformInt(i));
+    mrf.edges.push_back({parent, i, rng.Uniform(-1.0, 1.0)});
+  }
+  mrf.RebuildAdjacency();
+  BeliefState state(n);
+  // Random labels on ~1/4 of the claims.
+  for (ClaimId c = 0; c < n; ++c) {
+    if (rng.Bernoulli(0.25)) state.SetLabel(c, rng.Bernoulli(0.5));
+  }
+  auto exact = ExactInference(mrf, state);
+  auto tree = TreeSumProduct(mrf, state);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree.value().log_partition, exact.value().log_partition, 1e-8);
+  EXPECT_NEAR(tree.value().entropy, exact.value().entropy, 1e-8);
+  for (size_t c = 0; c < n; ++c) {
+    EXPECT_NEAR(tree.value().marginals[c], exact.value().marginals[c], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,86 @@
+#include "crf/partition.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TEST(PartitionTest, SharedSourceMergesClaims) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  const ClaimPartition partition = PartitionClaims(db);
+  // Source 0 touches all three claims: a single component.
+  EXPECT_EQ(partition.num_components(), 1u);
+  EXPECT_EQ(partition.members[0].size(), 3u);
+}
+
+TEST(PartitionTest, DisconnectedClaimsSeparate) {
+  FactDatabase db;
+  db.AddSource({"s0", {0.5}});
+  db.AddSource({"s1", {0.5}});
+  db.AddDocument({0, {0.5}});
+  db.AddDocument({1, {0.5}});
+  db.AddClaim({"a"});
+  db.AddClaim({"b"});
+  ASSERT_TRUE(db.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(db.AddMention(1, 1, Stance::kSupport).ok());
+  const ClaimPartition partition = PartitionClaims(db);
+  EXPECT_EQ(partition.num_components(), 2u);
+  EXPECT_NE(partition.component_of[0], partition.component_of[1]);
+}
+
+TEST(PartitionTest, MembersListsAreConsistent) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(31);
+  const ClaimPartition partition = PartitionClaims(corpus.db);
+  size_t total = 0;
+  for (size_t comp = 0; comp < partition.num_components(); ++comp) {
+    for (const ClaimId claim : partition.members[comp]) {
+      EXPECT_EQ(partition.component_of[claim], comp);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, corpus.db.num_claims());
+}
+
+TEST(NeighborhoodTest, RadiusZeroIsJustTheCenter) {
+  ClaimMrf mrf;
+  mrf.field = {0.0, 0.0, 0.0};
+  mrf.edges = {{0, 1, 0.5}, {1, 2, 0.5}};
+  mrf.RebuildAdjacency();
+  const auto hood = CouplingNeighborhood(mrf, 1, 0, 100);
+  EXPECT_EQ(hood, (std::vector<ClaimId>{1}));
+}
+
+TEST(NeighborhoodTest, RadiusOneCollectsDirectNeighbors) {
+  ClaimMrf mrf;
+  mrf.field = {0.0, 0.0, 0.0, 0.0};
+  mrf.edges = {{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.5}};
+  mrf.RebuildAdjacency();
+  auto hood = CouplingNeighborhood(mrf, 1, 1, 100);
+  std::sort(hood.begin(), hood.end());
+  EXPECT_EQ(hood, (std::vector<ClaimId>{0, 1, 2}));
+}
+
+TEST(NeighborhoodTest, CapTruncates) {
+  ClaimMrf mrf;
+  mrf.field.assign(10, 0.0);
+  for (ClaimId i = 1; i < 10; ++i) mrf.edges.push_back({0, i, 0.5});
+  mrf.RebuildAdjacency();
+  const auto hood = CouplingNeighborhood(mrf, 0, 2, 4);
+  EXPECT_EQ(hood.size(), 4u);
+  EXPECT_EQ(hood.front(), 0u);  // center always first
+}
+
+TEST(NeighborhoodTest, InvalidCenterOrZeroCap) {
+  ClaimMrf mrf;
+  mrf.field = {0.0};
+  mrf.RebuildAdjacency();
+  EXPECT_TRUE(CouplingNeighborhood(mrf, 5, 2, 10).empty());
+  EXPECT_TRUE(CouplingNeighborhood(mrf, 0, 2, 0).empty());
+}
+
+}  // namespace
+}  // namespace veritas

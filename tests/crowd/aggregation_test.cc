@@ -1,0 +1,132 @@
+#include "crowd/aggregation.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace veritas {
+namespace {
+
+std::vector<WorkerResponse> MakeResponses(
+    const std::vector<std::tuple<size_t, ClaimId, bool>>& triples) {
+  std::vector<WorkerResponse> responses;
+  for (const auto& [worker, claim, answer] : triples) {
+    WorkerResponse response;
+    response.worker = worker;
+    response.claim = claim;
+    response.answer = answer;
+    responses.push_back(response);
+  }
+  return responses;
+}
+
+TEST(MajorityVoteTest, EmptyErrors) {
+  EXPECT_FALSE(MajorityVote({}, 3).ok());
+}
+
+TEST(MajorityVoteTest, SimpleMajority) {
+  const auto responses = MakeResponses({{0, 0, true}, {1, 0, true}, {2, 0, false}});
+  auto consensus = MajorityVote(responses, 3);
+  ASSERT_TRUE(consensus.ok());
+  ASSERT_EQ(consensus.value().claims.size(), 1u);
+  EXPECT_TRUE(consensus.value().answers[0]);
+  EXPECT_NEAR(consensus.value().confidences[0], 2.0 / 3.0, 1e-12);
+}
+
+TEST(MajorityVoteTest, TieResolvesToCredible) {
+  const auto responses = MakeResponses({{0, 0, true}, {1, 0, false}});
+  auto consensus = MajorityVote(responses, 2);
+  ASSERT_TRUE(consensus.ok());
+  EXPECT_TRUE(consensus.value().answers[0]);
+}
+
+TEST(DawidSkeneTest, EmptyAndBadWorkerIndexError) {
+  EXPECT_FALSE(DawidSkene({}, 3).ok());
+  const auto responses = MakeResponses({{7, 0, true}});
+  EXPECT_FALSE(DawidSkene(responses, 3).ok());
+}
+
+TEST(DawidSkeneTest, UnanimousAnswersAreKept) {
+  const auto responses = MakeResponses(
+      {{0, 0, true}, {1, 0, true}, {2, 0, true}, {0, 1, false}, {1, 1, false},
+       {2, 1, false}});
+  auto consensus = DawidSkene(responses, 3);
+  ASSERT_TRUE(consensus.ok());
+  ASSERT_EQ(consensus.value().claims.size(), 2u);
+  EXPECT_TRUE(consensus.value().answers[0]);
+  EXPECT_FALSE(consensus.value().answers[1]);
+}
+
+TEST(DawidSkeneTest, ReliableMajorityOverridesNoisyWorker) {
+  // Workers 0, 1 agree on all claims; worker 2 contradicts everywhere.
+  std::vector<std::tuple<size_t, ClaimId, bool>> triples;
+  for (ClaimId c = 0; c < 8; ++c) {
+    const bool truth = c % 2 == 0;
+    triples.emplace_back(0, c, truth);
+    triples.emplace_back(1, c, truth);
+    triples.emplace_back(2, c, !truth);
+  }
+  auto consensus = DawidSkene(MakeResponses(triples), 3);
+  ASSERT_TRUE(consensus.ok());
+  for (size_t i = 0; i < consensus.value().claims.size(); ++i) {
+    EXPECT_EQ(consensus.value().answers[i], consensus.value().claims[i] % 2 == 0);
+  }
+  // Worker reliabilities reflect the structure.
+  EXPECT_GT(consensus.value().worker_accuracy[0], 0.8);
+  EXPECT_LT(consensus.value().worker_accuracy[2], 0.2);
+}
+
+TEST(DawidSkeneTest, RecoversTruthBetterThanMajorityWithSkewedPanel) {
+  // One excellent worker + two noisy ones. Dawid-Skene should upweight the
+  // excellent worker and beat plain majority voting.
+  Rng rng(11);
+  const size_t num_claims = 200;
+  std::vector<bool> truth(num_claims);
+  for (auto&& t : truth) t = rng.Bernoulli(0.5);
+
+  std::vector<WorkerResponse> responses;
+  const std::vector<double> accuracies{0.95, 0.6, 0.6};
+  for (size_t w = 0; w < accuracies.size(); ++w) {
+    for (ClaimId c = 0; c < num_claims; ++c) {
+      WorkerResponse response;
+      response.worker = w;
+      response.claim = c;
+      response.answer = rng.Bernoulli(accuracies[w]) ? truth[c] : !truth[c];
+      responses.push_back(response);
+    }
+  }
+  auto ds = DawidSkene(responses, accuracies.size());
+  auto mv = MajorityVote(responses, accuracies.size());
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(mv.ok());
+
+  auto accuracy_of = [&](const Consensus& consensus) {
+    size_t correct = 0;
+    for (size_t i = 0; i < consensus.claims.size(); ++i) {
+      if (consensus.answers[i] == truth[consensus.claims[i]]) ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(consensus.claims.size());
+  };
+  const double ds_accuracy = accuracy_of(ds.value());
+  const double mv_accuracy = accuracy_of(mv.value());
+  EXPECT_GE(ds_accuracy, mv_accuracy);
+  EXPECT_GT(ds_accuracy, 0.85);
+  // The expert is identified as substantially more reliable than the noise.
+  EXPECT_GT(ds.value().worker_accuracy[0], ds.value().worker_accuracy[1] + 0.1);
+}
+
+TEST(DawidSkeneTest, ConfidencesAreProbabilities) {
+  const auto responses = MakeResponses({{0, 0, true}, {1, 0, false}});
+  auto consensus = DawidSkene(responses, 2);
+  ASSERT_TRUE(consensus.ok());
+  for (const double confidence : consensus.value().confidences) {
+    EXPECT_GE(confidence, 0.0);
+    EXPECT_LE(confidence, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,72 @@
+#include "crowd/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TEST(WorkerTest, PerfectWorkerAlwaysCorrect) {
+  WorkerModel worker;
+  worker.accuracy = 1.0;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(DrawResponse(worker, 0, 0, true, &rng).answer);
+    EXPECT_FALSE(DrawResponse(worker, 0, 0, false, &rng).answer);
+  }
+}
+
+TEST(WorkerTest, ZeroAccuracyAlwaysWrong) {
+  WorkerModel worker;
+  worker.accuracy = 0.0;
+  Rng rng(2);
+  EXPECT_FALSE(DrawResponse(worker, 0, 0, true, &rng).answer);
+  EXPECT_TRUE(DrawResponse(worker, 0, 0, false, &rng).answer);
+}
+
+TEST(WorkerTest, AccuracyFrequencyMatches) {
+  WorkerModel worker;
+  worker.accuracy = 0.8;
+  Rng rng(3);
+  int correct = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    correct += DrawResponse(worker, 0, 0, true, &rng).answer ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.8, 0.02);
+}
+
+TEST(WorkerTest, ResponseTimeMeanMatchesModel) {
+  WorkerModel worker;
+  worker.mean_seconds = 300.0;
+  worker.time_spread = 0.4;
+  Rng rng(4);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double t = DrawResponse(worker, 0, 0, true, &rng).seconds;
+    EXPECT_GT(t, 0.0);
+    total += t;
+  }
+  EXPECT_NEAR(total / n, 300.0, 12.0);
+}
+
+TEST(WorkerTest, CollectResponsesCoversPanelTimesClaims) {
+  const FactDatabase db = testing::MakeHandDatabase();
+  std::vector<WorkerModel> panel(3);
+  const std::vector<ClaimId> claims{0, 1, 2};
+  Rng rng(5);
+  const auto responses = CollectResponses(panel, claims, db, &rng);
+  EXPECT_EQ(responses.size(), 9u);
+  // Worker indices and claim ids covered.
+  std::vector<int> worker_hits(3, 0);
+  for (const auto& response : responses) {
+    ASSERT_LT(response.worker, 3u);
+    ++worker_hits[response.worker];
+  }
+  for (const int hits : worker_hits) EXPECT_EQ(hits, 3);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,107 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/emulator.h"
+
+namespace veritas {
+namespace {
+
+CorpusSpec BaseSpec() {
+  CorpusSpec spec;
+  spec.name = "prop";
+  spec.num_sources = 40;
+  spec.num_documents = 400;
+  spec.num_claims = 80;
+  spec.mentions_per_document = 1.5;
+  return spec;
+}
+
+/// Property: measured truth prevalence tracks the spec knob.
+class PrevalenceSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrevalenceSweepTest, MeasuredPrevalenceTracksSpec) {
+  CorpusSpec spec = BaseSpec();
+  spec.truth_prevalence = GetParam();
+  Rng rng(501);
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  double credible = 0.0;
+  for (size_t c = 0; c < corpus.value().db.num_claims(); ++c) {
+    credible += corpus.value().db.ground_truth(static_cast<ClaimId>(c)) ? 1 : 0;
+  }
+  EXPECT_NEAR(credible / static_cast<double>(corpus.value().db.num_claims()),
+              GetParam(), 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrevalenceSweepTest,
+                         ::testing::Values(0.2, 0.5, 0.8));
+
+/// Property: a larger adversarial fraction lowers mean source reliability.
+class AdversarialSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdversarialSweepTest, MeanReliabilityDecreasesWithAdversaries) {
+  CorpusSpec spec = BaseSpec();
+  spec.adversarial_fraction = GetParam();
+  Rng rng(503);
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  double mean = 0.0;
+  for (const double r : corpus.value().source_reliability) mean += r;
+  mean /= static_cast<double>(corpus.value().source_reliability.size());
+  // Expected mean: (1-a) * 0.8 + a * 0.25.
+  const double expected = (1.0 - GetParam()) * 0.8 + GetParam() * 0.25;
+  EXPECT_NEAR(mean, expected, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdversarialSweepTest,
+                         ::testing::Values(0.0, 0.3, 0.7));
+
+/// Property: stance fidelity controls the fraction of truth-consistent
+/// stances; at fidelity 0.5 stances carry no information.
+class FidelitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FidelitySweepTest, StanceCorrectnessTracksFidelity) {
+  CorpusSpec spec = BaseSpec();
+  spec.stance_fidelity = GetParam();
+  spec.adversarial_fraction = 0.0;  // isolate the fidelity knob
+  Rng rng(507);
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const FactDatabase& db = corpus.value().db;
+  double correct = 0.0;
+  for (const Clique& clique : db.cliques()) {
+    const bool truth = db.ground_truth(clique.claim);
+    correct += ((clique.stance == Stance::kSupport) == truth) ? 1.0 : 0.0;
+  }
+  const double rate = correct / static_cast<double>(db.num_cliques());
+  if (GetParam() >= 0.85) {
+    EXPECT_GT(rate, 0.62);
+  } else if (GetParam() <= 0.55) {
+    EXPECT_NEAR(rate, 0.5, 0.08);
+  }
+  // With reliable-only sources, correctness never drops below chance.
+  EXPECT_GT(rate, 0.42);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FidelitySweepTest,
+                         ::testing::Values(0.5, 0.7, 0.9));
+
+/// Property: the mentions knob controls evidence density linearly.
+class DensitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensitySweepTest, MentionCountTracksDensity) {
+  CorpusSpec spec = BaseSpec();
+  spec.mentions_per_document = GetParam();
+  Rng rng(509);
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const double expected = GetParam() * static_cast<double>(spec.num_documents);
+  EXPECT_NEAR(static_cast<double>(corpus.value().db.num_cliques()), expected,
+              expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DensitySweepTest, ::testing::Values(1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace veritas

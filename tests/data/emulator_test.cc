@@ -1,0 +1,236 @@
+#include "data/emulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(EmulatorTest, PresetsMatchPaperStatistics) {
+  const CorpusSpec wiki = WikipediaSpec();
+  EXPECT_EQ(wiki.num_sources, 1955u);
+  EXPECT_EQ(wiki.num_documents, 3228u);
+  EXPECT_EQ(wiki.num_claims, 157u);
+  const CorpusSpec health = HealthSpec();
+  EXPECT_EQ(health.num_sources, 11206u);
+  EXPECT_EQ(health.num_documents, 48083u);
+  EXPECT_EQ(health.num_claims, 529u);
+  const CorpusSpec snopes = SnopesSpec();
+  EXPECT_EQ(snopes.num_sources, 23260u);
+  EXPECT_EQ(snopes.num_documents, 80421u);
+  EXPECT_EQ(snopes.num_claims, 4856u);
+}
+
+TEST(EmulatorTest, PaperSpecsOrderedAndScalable) {
+  const auto specs = PaperSpecs(0.1);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "wiki");
+  EXPECT_EQ(specs[2].name, "snopes");
+  EXPECT_EQ(specs[0].num_claims, 16u);  // round(157 * 0.1)
+}
+
+TEST(EmulatorTest, ScaledAppliesFloors) {
+  const CorpusSpec scaled = Scaled(WikipediaSpec(), 0.0001);
+  EXPECT_GE(scaled.num_sources, 10u);
+  EXPECT_GE(scaled.num_documents, 24u);
+  EXPECT_GE(scaled.num_claims, 12u);
+}
+
+TEST(EmulatorTest, InvalidSpecsError) {
+  Rng rng(1);
+  CorpusSpec zero;
+  zero.num_claims = 0;
+  EXPECT_FALSE(GenerateCorpus(zero, &rng).ok());
+  CorpusSpec starved;
+  starved.num_sources = 5;
+  starved.num_documents = 5;
+  starved.num_claims = 100;
+  starved.mentions_per_document = 1.0;
+  EXPECT_FALSE(GenerateCorpus(starved, &rng).ok());
+}
+
+class EmulatorCorpusTest : public ::testing::Test {
+ protected:
+  static CorpusSpec Spec() {
+    CorpusSpec spec;
+    spec.name = "t";
+    spec.num_sources = 40;
+    spec.num_documents = 150;
+    spec.num_claims = 30;
+    spec.mentions_per_document = 1.5;
+    return spec;
+  }
+};
+
+TEST_F(EmulatorCorpusTest, CountsMatchSpec) {
+  Rng rng(2);
+  auto corpus = GenerateCorpus(Spec(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.value().db.num_sources(), 40u);
+  EXPECT_EQ(corpus.value().db.num_documents(), 150u);
+  EXPECT_EQ(corpus.value().db.num_claims(), 30u);
+}
+
+TEST_F(EmulatorCorpusTest, DatabaseValidates) {
+  Rng rng(3);
+  auto corpus = GenerateCorpus(Spec(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(corpus.value().db.Validate().ok());
+}
+
+TEST_F(EmulatorCorpusTest, EveryClaimHasEvidenceAndTruth) {
+  Rng rng(4);
+  auto corpus = GenerateCorpus(Spec(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  const FactDatabase& db = corpus.value().db;
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    EXPECT_GE(db.ClaimCliques(static_cast<ClaimId>(c)).size(), 1u);
+    EXPECT_TRUE(db.has_ground_truth(static_cast<ClaimId>(c)));
+  }
+}
+
+TEST_F(EmulatorCorpusTest, LatentsExposedAndBounded) {
+  Rng rng(5);
+  auto corpus = GenerateCorpus(Spec(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.value().source_reliability.size(), 40u);
+  EXPECT_EQ(corpus.value().document_quality.size(), 150u);
+  for (const double r : corpus.value().source_reliability) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  for (const double q : corpus.value().document_quality) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST_F(EmulatorCorpusTest, MentionCountNearExpectation) {
+  Rng rng(6);
+  auto corpus = GenerateCorpus(Spec(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  const double expected = 150 * 1.5;
+  EXPECT_NEAR(static_cast<double>(corpus.value().db.num_cliques()), expected,
+              expected * 0.05);
+}
+
+TEST_F(EmulatorCorpusTest, ReliableSourcesTakeMostlyCorrectStances) {
+  Rng rng(7);
+  CorpusSpec spec = Spec();
+  spec.num_documents = 600;
+  spec.stance_fidelity = 0.9;
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const FactDatabase& db = corpus.value().db;
+  double correct_reliable = 0.0, total_reliable = 0.0;
+  double correct_unreliable = 0.0, total_unreliable = 0.0;
+  for (const Clique& clique : db.cliques()) {
+    const double r = corpus.value().source_reliability[clique.source];
+    const bool truth = db.ground_truth(clique.claim);
+    const bool correct = (clique.stance == Stance::kSupport) == truth;
+    if (r > 0.75) {
+      correct_reliable += correct ? 1.0 : 0.0;
+      total_reliable += 1.0;
+    } else if (r < 0.3) {
+      correct_unreliable += correct ? 1.0 : 0.0;
+      total_unreliable += 1.0;
+    }
+  }
+  ASSERT_GT(total_reliable, 20.0);
+  ASSERT_GT(total_unreliable, 20.0);
+  EXPECT_GT(correct_reliable / total_reliable, 0.7);
+  EXPECT_LT(correct_unreliable / total_unreliable, 0.5);
+}
+
+TEST_F(EmulatorCorpusTest, TruthPrevalenceRoughlyMatches) {
+  Rng rng(8);
+  CorpusSpec spec = Spec();
+  spec.num_claims = 300;
+  spec.num_documents = 900;
+  spec.truth_prevalence = 0.7;
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const FactDatabase& db = corpus.value().db;
+  double credible = 0.0;
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    credible += db.ground_truth(static_cast<ClaimId>(c)) ? 1.0 : 0.0;
+  }
+  EXPECT_NEAR(credible / static_cast<double>(db.num_claims()), 0.7, 0.08);
+}
+
+TEST_F(EmulatorCorpusTest, DeterministicGivenSeed) {
+  Rng rng_a(9);
+  Rng rng_b(9);
+  auto a = GenerateCorpus(Spec(), &rng_a);
+  auto b = GenerateCorpus(Spec(), &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().db.num_cliques(), b.value().db.num_cliques());
+  for (size_t i = 0; i < a.value().db.num_cliques(); ++i) {
+    EXPECT_EQ(a.value().db.clique(i).claim, b.value().db.clique(i).claim);
+    EXPECT_EQ(a.value().db.clique(i).document, b.value().db.clique(i).document);
+  }
+}
+
+TEST_F(EmulatorCorpusTest, TextPipelineProducesValidCorpus) {
+  Rng rng(11);
+  CorpusSpec spec = Spec();
+  spec.synthesize_text = true;
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(corpus.value().db.Validate().ok());
+  EXPECT_EQ(corpus.value().db.document_feature_dim(), 6u);
+  ASSERT_FALSE(corpus.value().sample_texts.empty());
+  EXPECT_GT(corpus.value().sample_texts.front().size(), 20u);
+}
+
+TEST_F(EmulatorCorpusTest, TextPipelineFeaturesStayDiscriminative) {
+  // Quality must survive the synthesize -> extract channel: features of
+  // high-quality documents differ systematically from low-quality ones.
+  Rng rng(12);
+  CorpusSpec spec = Spec();
+  spec.num_documents = 400;
+  spec.synthesize_text = true;
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const FactDatabase& db = corpus.value().db;
+  double hedge_high = 0.0, hedge_low = 0.0;
+  size_t n_high = 0, n_low = 0;
+  for (size_t d = 0; d < db.num_documents(); ++d) {
+    const double q = corpus.value().document_quality[d];
+    const double hedge = db.document(static_cast<DocumentId>(d)).features[2];
+    if (q > 0.7) {
+      hedge_high += hedge;
+      ++n_high;
+    } else if (q < 0.3) {
+      hedge_low += hedge;
+      ++n_low;
+    }
+  }
+  ASSERT_GT(n_high, 10u);
+  ASSERT_GT(n_low, 10u);
+  EXPECT_GT(hedge_low / n_low, hedge_high / n_high);
+}
+
+TEST_F(EmulatorCorpusTest, ClaimPopularityIsSkewed) {
+  Rng rng(10);
+  CorpusSpec spec = Spec();
+  spec.num_documents = 600;
+  spec.zipf_exponent = 1.0;
+  auto corpus = GenerateCorpus(spec, &rng);
+  ASSERT_TRUE(corpus.ok());
+  const FactDatabase& db = corpus.value().db;
+  size_t max_mentions = 0;
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    max_mentions =
+        std::max(max_mentions, db.ClaimCliques(static_cast<ClaimId>(c)).size());
+  }
+  const double mean =
+      static_cast<double>(db.num_cliques()) / static_cast<double>(db.num_claims());
+  EXPECT_GT(static_cast<double>(max_mentions), 2.0 * mean);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,97 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/veritas_io_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(IoTest, RoundTripPreservesStructure) {
+  const FactDatabase original = testing::MakeHandDatabase();
+  ASSERT_TRUE(SaveFactDatabase(original, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  const FactDatabase& db = loaded.value();
+  EXPECT_EQ(db.num_sources(), original.num_sources());
+  EXPECT_EQ(db.num_documents(), original.num_documents());
+  EXPECT_EQ(db.num_claims(), original.num_claims());
+  EXPECT_EQ(db.num_cliques(), original.num_cliques());
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST_F(IoTest, RoundTripPreservesFeatures) {
+  const FactDatabase original = testing::MakeHandDatabase();
+  ASSERT_TRUE(SaveFactDatabase(original, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t s = 0; s < original.num_sources(); ++s) {
+    const auto& a = original.source(static_cast<SourceId>(s)).features;
+    const auto& b = loaded.value().source(static_cast<SourceId>(s)).features;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST_F(IoTest, RoundTripPreservesGroundTruthAndStance) {
+  const FactDatabase original = testing::MakeHandDatabase();
+  ASSERT_TRUE(SaveFactDatabase(original, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t c = 0; c < original.num_claims(); ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    EXPECT_EQ(loaded.value().has_ground_truth(id), original.has_ground_truth(id));
+    if (original.has_ground_truth(id)) {
+      EXPECT_EQ(loaded.value().ground_truth(id), original.ground_truth(id));
+    }
+  }
+  for (size_t i = 0; i < original.num_cliques(); ++i) {
+    EXPECT_EQ(loaded.value().clique(i).stance, original.clique(i).stance);
+  }
+}
+
+TEST_F(IoTest, UnknownGroundTruthRoundTrips) {
+  FactDatabase db;
+  db.AddSource({"s", {0.5}});
+  db.AddDocument({0, {0.5}});
+  db.AddClaim({"no-truth"});
+  ASSERT_TRUE(db.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(SaveFactDatabase(db, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().has_ground_truth(0));
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  auto loaded = LoadFactDatabase(dir_ + "/does-not-exist");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, EmulatedCorpusRoundTrips) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(17);
+  ASSERT_TRUE(SaveFactDatabase(corpus.db, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_cliques(), corpus.db.num_cliques());
+  EXPECT_EQ(loaded.value().num_claims(), corpus.db.num_claims());
+}
+
+}  // namespace
+}  // namespace veritas

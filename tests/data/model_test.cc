@@ -1,0 +1,147 @@
+#include "data/model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TEST(FactDatabaseTest, AddEntitiesAssignsSequentialIds) {
+  FactDatabase db;
+  EXPECT_EQ(db.AddSource({"s0", {0.1}}), 0u);
+  EXPECT_EQ(db.AddSource({"s1", {0.2}}), 1u);
+  EXPECT_EQ(db.AddDocument({0, {0.5}}), 0u);
+  EXPECT_EQ(db.AddClaim({"c0"}), 0u);
+  EXPECT_EQ(db.num_sources(), 2u);
+  EXPECT_EQ(db.num_documents(), 1u);
+  EXPECT_EQ(db.num_claims(), 1u);
+}
+
+TEST(FactDatabaseTest, AddMentionCreatesCliqueWithDocumentSource) {
+  FactDatabase db = testing::MakeHandDatabase();
+  EXPECT_EQ(db.num_cliques(), 5u);
+  const Clique& clique = db.clique(0);
+  EXPECT_EQ(clique.claim, 0u);
+  EXPECT_EQ(clique.document, 0u);
+  EXPECT_EQ(clique.source, db.document(0).source);
+}
+
+TEST(FactDatabaseTest, AddMentionOutOfRangeFails) {
+  FactDatabase db;
+  db.AddSource({"s", {0.1}});
+  db.AddDocument({0, {0.5}});
+  db.AddClaim({"c"});
+  EXPECT_EQ(db.AddMention(5, 0, Stance::kSupport).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(db.AddMention(0, 5, Stance::kSupport).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FactDatabaseTest, ClaimCliqueIndexIsConsistent) {
+  FactDatabase db = testing::MakeHandDatabase();
+  for (size_t c = 0; c < db.num_claims(); ++c) {
+    for (const size_t ci : db.ClaimCliques(static_cast<ClaimId>(c))) {
+      EXPECT_EQ(db.clique(ci).claim, c);
+    }
+  }
+}
+
+TEST(FactDatabaseTest, SourceClaimsAreDeduplicated) {
+  FactDatabase db;
+  db.AddSource({"s", {0.1}});
+  db.AddDocument({0, {0.5}});
+  db.AddDocument({0, {0.6}});
+  db.AddClaim({"c"});
+  ASSERT_TRUE(db.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(db.AddMention(1, 0, Stance::kRefute).ok());
+  EXPECT_EQ(db.SourceClaims(0).size(), 1u);
+}
+
+TEST(FactDatabaseTest, GroundTruthRoundTrips) {
+  FactDatabase db;
+  const ClaimId c = db.AddClaim({"c"});
+  EXPECT_FALSE(db.has_ground_truth(c));
+  db.SetGroundTruth(c, true);
+  EXPECT_TRUE(db.has_ground_truth(c));
+  EXPECT_TRUE(db.ground_truth(c));
+  db.SetGroundTruth(c, false);
+  EXPECT_FALSE(db.ground_truth(c));
+}
+
+TEST(FactDatabaseTest, ValidatePassesOnConsistentDatabase) {
+  FactDatabase db = testing::MakeHandDatabase();
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(FactDatabaseTest, ValidateCatchesFeatureDimMismatch) {
+  FactDatabase db;
+  db.AddSource({"a", {0.1, 0.2}});
+  db.AddSource({"b", {0.3}});  // inconsistent dimension
+  EXPECT_EQ(db.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FactDatabaseTest, FeatureDimsReported) {
+  FactDatabase db = testing::MakeHandDatabase();
+  EXPECT_EQ(db.source_feature_dim(), 5u);
+  EXPECT_EQ(db.document_feature_dim(), 6u);
+  FactDatabase empty;
+  EXPECT_EQ(empty.source_feature_dim(), 0u);
+}
+
+TEST(BeliefStateTest, InitializesWithPrior) {
+  BeliefState state(4, 0.5);
+  EXPECT_EQ(state.num_claims(), 4u);
+  EXPECT_DOUBLE_EQ(state.prob(2), 0.5);
+  EXPECT_FALSE(state.IsLabeled(0));
+  EXPECT_EQ(state.labeled_count(), 0u);
+  EXPECT_EQ(state.unlabeled_count(), 4u);
+}
+
+TEST(BeliefStateTest, SetLabelFixesProbabilityAndCounts) {
+  BeliefState state(3);
+  state.SetLabel(1, true);
+  EXPECT_TRUE(state.IsLabeled(1));
+  EXPECT_DOUBLE_EQ(state.prob(1), 1.0);
+  EXPECT_EQ(state.labeled_count(), 1u);
+  state.SetLabel(1, false);  // relabel does not double count
+  EXPECT_DOUBLE_EQ(state.prob(1), 0.0);
+  EXPECT_EQ(state.labeled_count(), 1u);
+}
+
+TEST(BeliefStateTest, ClearLabelRestoresPrior) {
+  BeliefState state(3);
+  state.SetLabel(0, true);
+  state.ClearLabel(0, 0.4);
+  EXPECT_FALSE(state.IsLabeled(0));
+  EXPECT_DOUBLE_EQ(state.prob(0), 0.4);
+  EXPECT_EQ(state.labeled_count(), 0u);
+}
+
+TEST(BeliefStateTest, LabeledAndUnlabeledSets) {
+  BeliefState state(4);
+  state.SetLabel(1, true);
+  state.SetLabel(3, false);
+  const auto labeled = state.LabeledClaims();
+  const auto unlabeled = state.UnlabeledClaims();
+  EXPECT_EQ(labeled, (std::vector<ClaimId>{1, 3}));
+  EXPECT_EQ(unlabeled, (std::vector<ClaimId>{0, 2}));
+}
+
+TEST(BeliefStateTest, EffortFraction) {
+  BeliefState state(4);
+  EXPECT_DOUBLE_EQ(state.Effort(), 0.0);
+  state.SetLabel(0, true);
+  EXPECT_DOUBLE_EQ(state.Effort(), 0.25);
+  BeliefState empty;
+  EXPECT_DOUBLE_EQ(empty.Effort(), 0.0);
+}
+
+TEST(BeliefStateTest, AppendGrowsState) {
+  BeliefState state(2);
+  state.Append(0.7);
+  EXPECT_EQ(state.num_claims(), 3u);
+  EXPECT_DOUBLE_EQ(state.prob(2), 0.7);
+  EXPECT_FALSE(state.IsLabeled(2));
+}
+
+}  // namespace
+}  // namespace veritas

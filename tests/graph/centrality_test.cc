@@ -1,0 +1,113 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(PageRankTest, EmptyGraphErrors) {
+  Digraph graph;
+  EXPECT_FALSE(PageRank(graph).ok());
+}
+
+TEST(PageRankTest, SumsToOne) {
+  Digraph graph(5);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 0).ok());
+  ASSERT_TRUE(graph.AddEdge(3, 0).ok());
+  auto ranks = PageRank(graph);
+  ASSERT_TRUE(ranks.ok());
+  const double total =
+      std::accumulate(ranks.value().begin(), ranks.value().end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  Digraph graph(4);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(graph.AddEdge(i, (i + 1) % 4).ok());
+  }
+  auto ranks = PageRank(graph);
+  ASSERT_TRUE(ranks.ok());
+  for (const double r : ranks.value()) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, PopularNodeRanksHigher) {
+  // Star: everyone links to node 0.
+  Digraph graph(6);
+  for (size_t i = 1; i < 6; ++i) ASSERT_TRUE(graph.AddEdge(i, 0).ok());
+  auto ranks = PageRank(graph);
+  ASSERT_TRUE(ranks.ok());
+  for (size_t i = 1; i < 6; ++i) EXPECT_GT(ranks.value()[0], ranks.value()[i]);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  // Node 1 is dangling; ranks must still sum to 1.
+  Digraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 1).ok());
+  auto ranks = PageRank(graph);
+  ASSERT_TRUE(ranks.ok());
+  const double total =
+      std::accumulate(ranks.value().begin(), ranks.value().end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(ranks.value()[1], ranks.value()[0]);
+}
+
+TEST(PageRankTest, DampingExtremeZeroGivesUniform) {
+  Digraph graph(4);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  CentralityOptions options;
+  options.damping = 0.0;
+  auto ranks = PageRank(graph, options);
+  ASSERT_TRUE(ranks.ok());
+  for (const double r : ranks.value()) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(HitsTest, EmptyGraphErrors) {
+  Digraph graph;
+  EXPECT_FALSE(Hits(graph).ok());
+}
+
+TEST(HitsTest, AuthorityForPointedToNode) {
+  // Hubs 1..4 link to authority 0.
+  Digraph graph(5);
+  for (size_t i = 1; i < 5; ++i) ASSERT_TRUE(graph.AddEdge(i, 0).ok());
+  auto scores = Hits(graph);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(scores.value().authorities[0], scores.value().authorities[i]);
+    EXPECT_GT(scores.value().hubs[i], scores.value().hubs[0]);
+  }
+}
+
+TEST(HitsTest, ScoresAreL2Normalized) {
+  Digraph graph(4);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(3, 2).ok());
+  auto scores = Hits(graph);
+  ASSERT_TRUE(scores.ok());
+  double hub_norm = 0.0, auth_norm = 0.0;
+  for (const double h : scores.value().hubs) hub_norm += h * h;
+  for (const double a : scores.value().authorities) auth_norm += a * a;
+  EXPECT_NEAR(std::sqrt(hub_norm), 1.0, 1e-6);
+  EXPECT_NEAR(std::sqrt(auth_norm), 1.0, 1e-6);
+}
+
+TEST(HitsTest, NonNegativeScores) {
+  Digraph graph(4);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  auto scores = Hits(graph);
+  ASSERT_TRUE(scores.ok());
+  for (const double h : scores.value().hubs) EXPECT_GE(h, 0.0);
+  for (const double a : scores.value().authorities) EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,88 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(WebGraphTest, InvalidOptionsError) {
+  Rng rng(1);
+  WebGraphOptions zero_nodes;
+  zero_nodes.num_nodes = 0;
+  EXPECT_FALSE(GenerateWebGraph(zero_nodes, &rng).ok());
+  WebGraphOptions zero_edges;
+  zero_edges.edges_per_node = 0;
+  EXPECT_FALSE(GenerateWebGraph(zero_edges, &rng).ok());
+}
+
+TEST(WebGraphTest, NodeCountMatches) {
+  Rng rng(2);
+  WebGraphOptions options;
+  options.num_nodes = 50;
+  auto graph = GenerateWebGraph(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_nodes(), 50u);
+}
+
+TEST(WebGraphTest, EdgeCountNearExpectation) {
+  Rng rng(3);
+  WebGraphOptions options;
+  options.num_nodes = 200;
+  options.edges_per_node = 3;
+  auto graph = GenerateWebGraph(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  // Every node after the first attaches min(3, node) out-links.
+  const size_t expected = 3 * (200 - 1) - 3;  // nodes 1 and 2 attach fewer
+  EXPECT_NEAR(static_cast<double>(graph.value().num_edges()),
+              static_cast<double>(expected), 4.0);
+}
+
+TEST(WebGraphTest, EdgesPointBackwards) {
+  Rng rng(4);
+  WebGraphOptions options;
+  options.num_nodes = 100;
+  auto graph = GenerateWebGraph(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  for (size_t u = 0; u < graph.value().num_nodes(); ++u) {
+    for (const size_t v : graph.value().OutEdges(u)) EXPECT_LT(v, u);
+  }
+}
+
+TEST(WebGraphTest, PreferentialAttachmentYieldsHeavyTail) {
+  Rng rng(5);
+  WebGraphOptions options;
+  options.num_nodes = 2000;
+  options.edges_per_node = 3;
+  options.uniform_mix = 0.1;
+  auto graph = GenerateWebGraph(options, &rng);
+  ASSERT_TRUE(graph.ok());
+  size_t max_in = 0;
+  double mean_in = 0.0;
+  for (size_t u = 0; u < graph.value().num_nodes(); ++u) {
+    max_in = std::max(max_in, graph.value().InDegree(u));
+    mean_in += static_cast<double>(graph.value().InDegree(u));
+  }
+  mean_in /= static_cast<double>(graph.value().num_nodes());
+  // Heavy tail: the hub's in-degree dwarfs the mean.
+  EXPECT_GT(static_cast<double>(max_in), 10.0 * mean_in);
+}
+
+TEST(WebGraphTest, DeterministicGivenSeed) {
+  WebGraphOptions options;
+  options.num_nodes = 80;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  auto a = GenerateWebGraph(options, &rng_a);
+  auto b = GenerateWebGraph(options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().num_edges(), b.value().num_edges());
+  for (size_t u = 0; u < a.value().num_nodes(); ++u) {
+    EXPECT_EQ(a.value().OutEdges(u), b.value().OutEdges(u));
+  }
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,92 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(DigraphTest, StartsEmpty) {
+  Digraph graph;
+  EXPECT_EQ(graph.num_nodes(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(DigraphTest, AddNodeGrowsGraph) {
+  Digraph graph(2);
+  EXPECT_EQ(graph.AddNode(), 2u);
+  EXPECT_EQ(graph.num_nodes(), 3u);
+}
+
+TEST(DigraphTest, AddEdgeUpdatesBothDirections) {
+  Digraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(0, 2).ok());
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.InDegree(1), 1u);
+  EXPECT_EQ(graph.InDegree(2), 1u);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.InEdges(1)[0], 0u);
+}
+
+TEST(DigraphTest, AddEdgeOutOfRangeFails) {
+  Digraph graph(2);
+  EXPECT_EQ(graph.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(graph.AddEdge(5, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(DigraphTest, SelfLoopsAllowed) {
+  Digraph graph(1);
+  ASSERT_TRUE(graph.AddEdge(0, 0).ok());
+  EXPECT_EQ(graph.OutDegree(0), 1u);
+  EXPECT_EQ(graph.InDegree(0), 1u);
+}
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_NE(uf.Find(0), uf.Find(1));
+}
+
+TEST(UnionFindTest, UnionMergesComponents) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already merged
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(ComponentsTest, IsolatedNodesAreSeparate) {
+  Digraph graph(3);
+  size_t count = 0;
+  const auto labels = WeaklyConnectedComponents(graph, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(ComponentsTest, DirectionIgnoredForWeakConnectivity) {
+  Digraph graph(4);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 1).ok());  // 0-1-2 weakly connected
+  size_t count = 0;
+  const auto labels = WeaklyConnectedComponents(graph, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[3], labels[0]);
+}
+
+TEST(ComponentsTest, LabelsAreDense) {
+  Digraph graph(6);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 3).ok());
+  size_t count = 0;
+  const auto labels = WeaklyConnectedComponents(graph, &count);
+  EXPECT_EQ(count, 4u);
+  for (const size_t label : labels) EXPECT_LT(label, count);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/validation.h"
+#include "crowd/aggregation.h"
+#include "crowd/worker.h"
+#include "data/emulator.h"
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+ValidationOptions Fast(StrategyKind strategy) {
+  ValidationOptions options;
+  options.icrf.gibbs.burn_in = 8;
+  options.icrf.gibbs.num_samples = 30;
+  options.icrf.max_em_iterations = 2;
+  options.guidance.variant = GuidanceVariant::kScalable;
+  options.guidance.candidate_pool = 16;
+  options.strategy = strategy;
+  options.target_precision = 2.0;
+  options.seed = 1234;
+  return options;
+}
+
+/// Effort (fraction of claims labeled) needed to reach `target` precision;
+/// returns 1.0 when never reached.
+double EffortToReach(const ValidationOutcome& outcome, double target) {
+  for (const IterationRecord& record : outcome.trace) {
+    if (record.precision >= target) return record.effort;
+  }
+  return 1.0;
+}
+
+TEST(EndToEndTest, GuidedValidationBeatsRandomOnAverage) {
+  // The paper's headline claim (Fig. 6): guided selection reaches a precision
+  // level with less effort than random selection. Averaged over seeds to be
+  // robust against sampling noise.
+  double random_effort = 0.0;
+  double hybrid_effort = 0.0;
+  const int runs = 3;
+  for (int run = 0; run < runs; ++run) {
+    const EmulatedCorpus corpus = testing::MakeTinyCorpus(211 + run, 40);
+    {
+      OracleUser user;
+      ValidationOptions options = Fast(StrategyKind::kRandom);
+      options.seed = 1000 + run;
+      ValidationProcess process(&corpus.db, &user, options);
+      auto outcome = process.Run();
+      ASSERT_TRUE(outcome.ok());
+      random_effort += EffortToReach(outcome.value(), 0.9);
+    }
+    {
+      OracleUser user;
+      ValidationOptions options = Fast(StrategyKind::kHybrid);
+      options.seed = 1000 + run;
+      ValidationProcess process(&corpus.db, &user, options);
+      auto outcome = process.Run();
+      ASSERT_TRUE(outcome.ok());
+      hybrid_effort += EffortToReach(outcome.value(), 0.9);
+    }
+  }
+  EXPECT_LE(hybrid_effort, random_effort + 0.15 * runs);
+}
+
+TEST(EndToEndTest, PrecisionGrowsWithEffort) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(223, 30);
+  OracleUser user;
+  ValidationProcess process(&corpus.db, &user, Fast(StrategyKind::kHybrid));
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome.value().trace.empty());
+  // Compare mean precision of the first and last thirds of the run.
+  const auto& trace = outcome.value().trace;
+  const size_t third = std::max<size_t>(1, trace.size() / 3);
+  double early = 0.0, late = 0.0;
+  for (size_t i = 0; i < third; ++i) early += trace[i].precision;
+  for (size_t i = trace.size() - third; i < trace.size(); ++i) {
+    late += trace[i].precision;
+  }
+  EXPECT_GE(late / third, early / third);
+  EXPECT_DOUBLE_EQ(trace.back().precision, 1.0);  // fully labeled at the end
+}
+
+TEST(EndToEndTest, UncertaintyCorrelatesNegativelyWithPrecision) {
+  // Fig. 5: database uncertainty is a truthful indicator of grounding
+  // correctness (strong negative correlation along a run).
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(227, 30);
+  OracleUser user;
+  ValidationProcess process(&corpus.db, &user, Fast(StrategyKind::kInfoGain));
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok());
+  std::vector<double> entropies, precisions;
+  for (const IterationRecord& record : outcome.value().trace) {
+    entropies.push_back(record.entropy);
+    precisions.push_back(record.precision);
+  }
+  ASSERT_GT(entropies.size(), 5u);
+  auto correlation = PearsonCorrelation(entropies, precisions);
+  ASSERT_TRUE(correlation.ok());
+  EXPECT_LT(correlation.value(), -0.3);
+}
+
+TEST(EndToEndTest, CrowdPipelineProducesConsensusOnEmulatedCorpus) {
+  // §8.9 pipeline: sample claims, collect simulated expert + crowd input,
+  // aggregate, compare against ground truth.
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(229, 30);
+  Rng rng(5);
+  std::vector<ClaimId> tasks;
+  for (ClaimId c = 0; c < 20; ++c) tasks.push_back(c);
+
+  std::vector<WorkerModel> crowd(7);
+  for (size_t w = 0; w < crowd.size(); ++w) {
+    crowd[w].accuracy = 0.75 + 0.02 * static_cast<double>(w % 3);
+    crowd[w].mean_seconds = 200.0;
+  }
+  const auto responses = CollectResponses(crowd, tasks, corpus.db, &rng);
+  auto consensus = DawidSkene(responses, crowd.size());
+  ASSERT_TRUE(consensus.ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < consensus.value().claims.size(); ++i) {
+    if (consensus.value().answers[i] ==
+        corpus.db.ground_truth(consensus.value().claims[i])) {
+      ++correct;
+    }
+  }
+  const double accuracy =
+      static_cast<double>(correct) /
+      static_cast<double>(consensus.value().claims.size());
+  EXPECT_GT(accuracy, 0.7);  // consensus beats individual workers on average
+}
+
+TEST(EndToEndTest, PaperScaleWikipediaCorpusRunsOneIteration) {
+  // Smoke test at the paper's wiki scale: one guided iteration completes
+  // and produces a sane trace entry.
+  Rng rng(31);
+  auto corpus = GenerateCorpus(WikipediaSpec(), &rng);
+  ASSERT_TRUE(corpus.ok());
+  OracleUser user;
+  ValidationOptions options = Fast(StrategyKind::kHybrid);
+  options.budget = 1;
+  options.guidance.candidate_pool = 16;
+  ValidationProcess process(&corpus.value().db, &user, options);
+  auto outcome = process.Run();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.value().trace.size(), 1u);
+  EXPECT_GT(outcome.value().trace[0].precision, 0.3);
+}
+
+}  // namespace
+}  // namespace veritas

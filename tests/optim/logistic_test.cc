@@ -1,0 +1,122 @@
+#include "optim/logistic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace veritas {
+namespace {
+
+TEST(LogisticTest, ValueAtZeroWeightsIsLog2PerExample) {
+  LogisticObjective objective(2, 0.0);
+  objective.AddExample({1.0, 0.0}, 1.0);
+  objective.AddExample({0.0, 1.0}, 0.0);
+  const double value = objective.Value({0.0, 0.0});
+  EXPECT_NEAR(value, 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(LogisticTest, RegularizationAddsQuadraticTerm) {
+  LogisticObjective objective(2, 2.0);
+  const double value = objective.Value({3.0, 4.0});
+  EXPECT_NEAR(value, 0.5 * 2.0 * 25.0, 1e-12);  // no examples: pure L2
+}
+
+TEST(LogisticTest, GradientMatchesFiniteDifferences) {
+  Rng rng(1);
+  LogisticObjective objective(3, 0.5);
+  for (int i = 0; i < 40; ++i) {
+    objective.AddExample({rng.Uniform(), rng.Uniform(), 1.0}, rng.Uniform(),
+                         0.5 + rng.Uniform());
+  }
+  const std::vector<double> w{0.3, -0.7, 0.1};
+  EXPECT_LT(MaxGradientDeviation(objective, w), 1e-5);
+}
+
+TEST(LogisticTest, HessianVectorProductMatchesFiniteDifferenceOfGradient) {
+  Rng rng(2);
+  LogisticObjective objective(3, 0.3);
+  for (int i = 0; i < 30; ++i) {
+    objective.AddExample({rng.Uniform(), rng.Uniform(), 1.0}, rng.Bernoulli(0.5));
+  }
+  const std::vector<double> w{0.2, 0.4, -0.3};
+  const std::vector<double> v{1.0, -2.0, 0.5};
+  std::vector<double> hv;
+  objective.HessianVectorProduct(w, v, &hv);
+
+  const double eps = 1e-6;
+  std::vector<double> w_plus = w, w_minus = w;
+  for (size_t i = 0; i < w.size(); ++i) {
+    w_plus[i] += eps * v[i];
+    w_minus[i] -= eps * v[i];
+  }
+  std::vector<double> g_plus, g_minus;
+  objective.Gradient(w_plus, &g_plus);
+  objective.Gradient(w_minus, &g_minus);
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double numeric = (g_plus[i] - g_minus[i]) / (2.0 * eps);
+    EXPECT_NEAR(hv[i], numeric, 1e-4);
+  }
+}
+
+TEST(LogisticTest, SoftTargetsInterpolate) {
+  // With a single example of soft target y, the optimum of the unregularized
+  // intercept-only model is sigmoid(w) = y.
+  LogisticObjective objective(1, 0.0);
+  objective.AddExample({1.0}, 0.3);
+  // Evaluate the gradient at w with sigmoid(w) = 0.3: should vanish.
+  const double w_star = std::log(0.3 / 0.7);
+  std::vector<double> g;
+  objective.Gradient({w_star}, &g);
+  EXPECT_NEAR(g[0], 0.0, 1e-9);
+}
+
+TEST(LogisticTest, WeightsScaleGradient) {
+  LogisticObjective weighted(1, 0.0);
+  weighted.AddExample({1.0}, 1.0, 3.0);
+  LogisticObjective unweighted(1, 0.0);
+  unweighted.AddExample({1.0}, 1.0, 1.0);
+  std::vector<double> gw, gu;
+  weighted.Gradient({0.5}, &gw);
+  unweighted.Gradient({0.5}, &gu);
+  EXPECT_NEAR(gw[0], 3.0 * gu[0], 1e-12);
+}
+
+TEST(LogisticTest, ClearExamplesResets) {
+  LogisticObjective objective(2, 0.0);
+  objective.AddExample({1.0, 0.0}, 1.0);
+  EXPECT_EQ(objective.num_examples(), 1u);
+  objective.ClearExamples();
+  EXPECT_EQ(objective.num_examples(), 0u);
+  EXPECT_DOUBLE_EQ(objective.Value({1.0, 1.0}), 0.0);
+}
+
+TEST(LogisticTest, OutOfRangeTargetsAndWeightsAreClamped) {
+  LogisticObjective objective(1, 0.0);
+  objective.AddExample({1.0}, 2.0, -1.0);  // target clamps to 1, weight to 0
+  std::vector<double> g;
+  objective.Gradient({0.0}, &g);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);  // zero weight: no contribution
+}
+
+TEST(LogisticTest, ShortFeatureRowsArePadded) {
+  LogisticObjective objective(3, 0.0);
+  objective.AddExample({1.0}, 1.0);  // missing features become 0
+  std::vector<double> g;
+  objective.Gradient({0.0, 0.0, 0.0}, &g);
+  EXPECT_NE(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+}
+
+TEST(LogisticTest, ExtremeMarginsStayFinite) {
+  LogisticObjective objective(1, 0.0);
+  objective.AddExample({1.0}, 1.0);
+  EXPECT_TRUE(std::isfinite(objective.Value({800.0})));
+  EXPECT_TRUE(std::isfinite(objective.Value({-800.0})));
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,86 @@
+#include "optim/online_em.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(StepScheduleTest, ValidatesRobbinsMonroConditions) {
+  EXPECT_TRUE(StepSchedule::Create(1.0, 2.0, 0.7).ok());
+  EXPECT_TRUE(StepSchedule::Create(1.0, 0.0, 1.0).ok());
+  EXPECT_FALSE(StepSchedule::Create(1.0, 2.0, 0.5).ok());   // kappa too small
+  EXPECT_FALSE(StepSchedule::Create(1.0, 2.0, 1.5).ok());   // kappa too large
+  EXPECT_FALSE(StepSchedule::Create(0.0, 2.0, 0.7).ok());   // a must be > 0
+  EXPECT_FALSE(StepSchedule::Create(1.0, -1.0, 0.7).ok());  // t0 must be >= 0
+}
+
+TEST(StepScheduleTest, StepsDecrease) {
+  auto schedule = StepSchedule::Create(1.0, 2.0, 0.7);
+  ASSERT_TRUE(schedule.ok());
+  double previous = schedule.value().Step(1);
+  for (size_t t = 2; t < 100; ++t) {
+    const double step = schedule.value().Step(t);
+    EXPECT_LT(step, previous);
+    EXPECT_GT(step, 0.0);
+    previous = step;
+  }
+}
+
+TEST(StepScheduleTest, StepValuesMatchFormula) {
+  auto schedule = StepSchedule::Create(2.0, 3.0, 0.8);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(schedule.value().Step(5), 2.0 / std::pow(8.0, 0.8), 1e-12);
+}
+
+TEST(StepScheduleTest, SquareSummabilityHeuristic) {
+  // kappa = 0.7: partial sums of gamma grow without bound while partial sums
+  // of gamma^2 flatten. Check the trend numerically.
+  auto schedule = StepSchedule::Create(1.0, 1.0, 0.7);
+  ASSERT_TRUE(schedule.ok());
+  double sum_1k = 0.0, sum_sq_1k = 0.0;
+  for (size_t t = 1; t <= 1000; ++t) {
+    const double g = schedule.value().Step(t);
+    sum_1k += g;
+    sum_sq_1k += g * g;
+  }
+  double sum_10k = sum_1k, sum_sq_10k = sum_sq_1k;
+  for (size_t t = 1001; t <= 10000; ++t) {
+    const double g = schedule.value().Step(t);
+    sum_10k += g;
+    sum_sq_10k += g * g;
+  }
+  EXPECT_GT(sum_10k, 1.8 * sum_1k);        // sum keeps growing substantially
+  EXPECT_LT(sum_sq_10k, 1.15 * sum_sq_1k);  // squared sum nearly converged
+}
+
+TEST(ArmijoTest, AcceptsFullStepOnDescentDirection) {
+  auto value_at = [](const std::vector<double>& w) {
+    return (w[0] - 2.0) * (w[0] - 2.0);
+  };
+  // At w=0 the gradient is -4, direction +1 is a descent direction with
+  // slope -4; the full step of 1.0 reaches w=1 with value 1 < 4 - c1*4.
+  const double step = ArmijoLineSearch(value_at, {0.0}, {1.0}, 1.0, -4.0);
+  EXPECT_DOUBLE_EQ(step, 1.0);
+}
+
+TEST(ArmijoTest, BacktracksOvershootingStep) {
+  auto value_at = [](const std::vector<double>& w) { return w[0] * w[0]; };
+  // From w=1 along direction -1 (slope -2), a step of 16 overshoots badly
+  // (value 225); halving must kick in.
+  const double step = ArmijoLineSearch(value_at, {1.0}, {-1.0}, 16.0, -2.0);
+  EXPECT_LT(step, 16.0);
+  EXPECT_GT(step, 0.0);
+  EXPECT_LT((1.0 - step) * (1.0 - step), 1.0);
+}
+
+TEST(ArmijoTest, ReturnsZeroWhenNoImprovementPossible) {
+  auto value_at = [](const std::vector<double>& w) { return w[0] * w[0]; };
+  // Ascent direction from the minimum: no step length helps.
+  const double step = ArmijoLineSearch(value_at, {0.0}, {1.0}, 1.0, -1.0, 1e-4, 8);
+  EXPECT_DOUBLE_EQ(step, 0.0);
+}
+
+}  // namespace
+}  // namespace veritas

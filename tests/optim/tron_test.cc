@@ -1,0 +1,162 @@
+#include "optim/tron.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "optim/logistic.h"
+
+namespace veritas {
+namespace {
+
+/// Convex quadratic f(w) = 0.5 (w - c)^T A (w - c) with diagonal A.
+class QuadraticObjective : public DifferentiableObjective {
+ public:
+  QuadraticObjective(std::vector<double> center, std::vector<double> diag)
+      : center_(std::move(center)), diag_(std::move(diag)) {}
+
+  size_t dim() const override { return center_.size(); }
+
+  double Value(const std::vector<double>& w) const override {
+    double value = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+      const double d = w[i] - center_[i];
+      value += 0.5 * diag_[i] * d * d;
+    }
+    return value;
+  }
+
+  void Gradient(const std::vector<double>& w,
+                std::vector<double>* g) const override {
+    g->resize(w.size());
+    for (size_t i = 0; i < w.size(); ++i) (*g)[i] = diag_[i] * (w[i] - center_[i]);
+  }
+
+  void HessianVectorProduct(const std::vector<double>& w,
+                            const std::vector<double>& v,
+                            std::vector<double>* hv) const override {
+    (void)w;
+    hv->resize(v.size());
+    for (size_t i = 0; i < v.size(); ++i) (*hv)[i] = diag_[i] * v[i];
+  }
+
+ private:
+  std::vector<double> center_;
+  std::vector<double> diag_;
+};
+
+TEST(TronTest, SolvesQuadraticExactly) {
+  QuadraticObjective objective({1.0, -2.0, 3.0}, {2.0, 1.0, 4.0});
+  std::vector<double> w{0.0, 0.0, 0.0};
+  auto report = MinimizeTron(objective, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().converged);
+  EXPECT_NEAR(w[0], 1.0, 1e-4);
+  EXPECT_NEAR(w[1], -2.0, 1e-4);
+  EXPECT_NEAR(w[2], 3.0, 1e-4);
+}
+
+TEST(TronTest, IllConditionedQuadratic) {
+  QuadraticObjective objective({1.0, 1.0}, {1000.0, 0.01});
+  std::vector<double> w{-5.0, 5.0};
+  TronOptions options;
+  options.max_iterations = 200;
+  options.cg_max_iterations = 100;
+  options.gradient_tolerance = 1e-8;
+  auto report = MinimizeTron(objective, &w, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(w[0], 1.0, 1e-3);
+  EXPECT_NEAR(w[1], 1.0, 1e-2);
+}
+
+TEST(TronTest, DimensionMismatchErrors) {
+  QuadraticObjective objective({1.0}, {1.0});
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_FALSE(MinimizeTron(objective, &w).ok());
+  EXPECT_FALSE(MinimizeTron(objective, nullptr).ok());
+}
+
+TEST(TronTest, MonotoneDecrease) {
+  QuadraticObjective objective({5.0, -5.0}, {1.0, 3.0});
+  std::vector<double> w{0.0, 0.0};
+  auto report = MinimizeTron(objective, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report.value().final_value, report.value().initial_value);
+}
+
+TEST(TronTest, RecoversLogisticRegressionWeights) {
+  // Generate separable-ish data from known weights and verify TRON recovers
+  // them approximately (up to regularization shrinkage).
+  Rng rng(5);
+  const std::vector<double> truth{1.5, -2.0, 0.8};
+  LogisticObjective objective(3, 1e-3);
+  for (int i = 0; i < 3000; ++i) {
+    const std::vector<double> x{1.0, rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const double p = Sigmoid(Dot(truth, x));
+    objective.AddExample(x, rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  std::vector<double> w{0.0, 0.0, 0.0};
+  TronOptions options;
+  options.max_iterations = 100;
+  options.gradient_tolerance = 1e-6;
+  auto report = MinimizeTron(objective, &w, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(w[0], truth[0], 0.35);
+  EXPECT_NEAR(w[1], truth[1], 0.35);
+  EXPECT_NEAR(w[2], truth[2], 0.35);
+}
+
+TEST(TronTest, WarmStartConvergesFaster) {
+  Rng rng(6);
+  LogisticObjective objective(3, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> x{1.0, rng.Uniform(), rng.Uniform()};
+    objective.AddExample(x, rng.Bernoulli(0.7) ? 1.0 : 0.0);
+  }
+  std::vector<double> cold{0.0, 0.0, 0.0};
+  auto cold_report = MinimizeTron(objective, &cold);
+  ASSERT_TRUE(cold_report.ok());
+  // Re-optimize from the solution: should converge almost immediately.
+  std::vector<double> warm = cold;
+  auto warm_report = MinimizeTron(objective, &warm);
+  ASSERT_TRUE(warm_report.ok());
+  EXPECT_LE(warm_report.value().iterations, 2u);
+}
+
+TEST(TronTest, ZeroGradientStartConvergesImmediately) {
+  QuadraticObjective objective({0.0, 0.0}, {1.0, 1.0});
+  std::vector<double> w{0.0, 0.0};
+  auto report = MinimizeTron(objective, &w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().converged);
+  EXPECT_EQ(report.value().iterations, 0u);
+}
+
+class TronRandomQuadraticTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TronRandomQuadraticTest, ConvergesOnRandomConvexProblems) {
+  Rng rng(GetParam());
+  const size_t dim = 2 + rng.UniformInt(8);
+  std::vector<double> center(dim), diag(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    center[i] = rng.Uniform(-5.0, 5.0);
+    diag[i] = rng.Uniform(0.1, 10.0);
+  }
+  QuadraticObjective objective(center, diag);
+  std::vector<double> w(dim, 0.0);
+  TronOptions options;
+  options.max_iterations = 200;
+  options.gradient_tolerance = 1e-8;
+  options.cg_max_iterations = 64;
+  auto report = MinimizeTron(objective, &w, options);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 0; i < dim; ++i) EXPECT_NEAR(w[i], center[i], 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TronRandomQuadraticTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,61 @@
+#ifndef VERITAS_TESTS_TESTING_CORPUS_FIXTURES_H_
+#define VERITAS_TESTS_TESTING_CORPUS_FIXTURES_H_
+
+#include "common/rng.h"
+#include "data/emulator.h"
+#include "data/model.h"
+
+namespace veritas {
+namespace testing {
+
+/// Small emulated corpus spec that keeps unit tests fast but non-trivial.
+inline CorpusSpec TinySpec(size_t claims = 24) {
+  CorpusSpec spec;
+  spec.name = "tiny";
+  spec.num_sources = 18;
+  spec.num_documents = claims * 4;
+  spec.num_claims = claims;
+  spec.truth_prevalence = 0.5;
+  spec.adversarial_fraction = 0.25;
+  spec.mentions_per_document = 1.5;
+  return spec;
+}
+
+/// Generates a tiny corpus; aborts the test on generation failure.
+inline EmulatedCorpus MakeTinyCorpus(uint64_t seed = 7, size_t claims = 24) {
+  Rng rng(seed);
+  auto corpus = GenerateCorpus(TinySpec(claims), &rng);
+  // Generation of a valid spec never fails; surface violations loudly.
+  if (!corpus.ok()) abort();
+  return std::move(corpus).value();
+}
+
+/// Hand-built 3-claim database with two sources and predictable structure:
+///   source 0 (reliable) supports claim 0 and claim 1, refutes claim 2;
+///   source 1 (unreliable) supports claim 2.
+/// Ground truth: claims 0, 1 credible; claim 2 not.
+inline FactDatabase MakeHandDatabase() {
+  FactDatabase db;
+  const SourceId good = db.AddSource({"good", {0.9, 0.8, 0.7, 0.6, 0.8}});
+  const SourceId bad = db.AddSource({"bad", {0.2, 0.1, 0.2, 0.3, 0.2}});
+  const DocumentId d0 = db.AddDocument({good, {0.8, 0.7, 0.2, 0.2, 0.1, 0.8}});
+  const DocumentId d1 = db.AddDocument({good, {0.7, 0.8, 0.3, 0.2, 0.2, 0.7}});
+  const DocumentId d2 = db.AddDocument({bad, {0.3, 0.2, 0.8, 0.9, 0.8, 0.2}});
+  const ClaimId c0 = db.AddClaim({"claim-0"});
+  const ClaimId c1 = db.AddClaim({"claim-1"});
+  const ClaimId c2 = db.AddClaim({"claim-2"});
+  (void)db.AddMention(d0, c0, Stance::kSupport);
+  (void)db.AddMention(d0, c1, Stance::kSupport);
+  (void)db.AddMention(d1, c1, Stance::kSupport);
+  (void)db.AddMention(d1, c2, Stance::kRefute);
+  (void)db.AddMention(d2, c2, Stance::kSupport);
+  db.SetGroundTruth(c0, true);
+  db.SetGroundTruth(c1, true);
+  db.SetGroundTruth(c2, false);
+  return db;
+}
+
+}  // namespace testing
+}  // namespace veritas
+
+#endif  // VERITAS_TESTS_TESTING_CORPUS_FIXTURES_H_

@@ -1,0 +1,87 @@
+#include "text/language_model.h"
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(LanguageModelTest, FeatureNamesMatchDimension) {
+  EXPECT_EQ(DocumentFeatureNames().size(), NumDocumentFeatures());
+  EXPECT_GT(NumDocumentFeatures(), 0u);
+}
+
+TEST(LanguageModelTest, FeaturesStayInUnitInterval) {
+  LanguageFeatureModel model(0.2);
+  Rng rng(1);
+  for (double q : {0.0, 0.3, 0.7, 1.0}) {
+    const auto features = model.Generate(q, &rng);
+    ASSERT_EQ(features.size(), NumDocumentFeatures());
+    for (const double f : features) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(LanguageModelTest, QualityClampsOutOfRangeInput) {
+  LanguageFeatureModel model(0.0);
+  Rng rng(2);
+  const auto low = model.Generate(-1.0, &rng);
+  const auto zero = model.Generate(0.0, &rng);
+  EXPECT_EQ(low, zero);
+}
+
+TEST(LanguageModelTest, NoiselessRecoveryIsExact) {
+  LanguageFeatureModel model(0.0);
+  Rng rng(3);
+  for (double q : {0.2, 0.5, 0.8}) {
+    const auto features = model.Generate(q, &rng);
+    EXPECT_NEAR(model.EstimateQuality(features), q, 1e-9);
+  }
+}
+
+TEST(LanguageModelTest, NoisyRecoveryIsApproximate) {
+  LanguageFeatureModel model(0.1);
+  Rng rng(4);
+  double total_error = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const double q = rng.Uniform();
+    const auto features = model.Generate(q, &rng);
+    total_error += std::abs(model.EstimateQuality(features) - q);
+  }
+  EXPECT_LT(total_error / trials, 0.15);
+}
+
+TEST(LanguageModelTest, FeaturesDiscriminateQualityExtremes) {
+  // The mean estimated quality of high-quality docs must exceed that of
+  // low-quality docs by a wide margin — the property the CRF exploits.
+  LanguageFeatureModel model(0.15);
+  Rng rng(5);
+  double high = 0.0, low = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    high += model.EstimateQuality(model.Generate(0.9, &rng));
+    low += model.EstimateQuality(model.Generate(0.1, &rng));
+  }
+  EXPECT_GT(high / trials, low / trials + 0.5);
+}
+
+class LanguageModelDirectionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LanguageModelDirectionTest, EachFeatureMovesMonotonicallyInMean) {
+  // With zero noise, each feature is a linear function of quality; check
+  // strict monotonicity between the extremes in the direction of its slope.
+  const size_t index = GetParam();
+  LanguageFeatureModel model(0.0);
+  Rng rng(6);
+  const auto lo = model.Generate(0.05, &rng);
+  const auto hi = model.Generate(0.95, &rng);
+  EXPECT_NE(lo[index], hi[index]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFeatures, LanguageModelDirectionTest,
+                         ::testing::Range<size_t>(0, 6));
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,116 @@
+#include "text/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include "text/language_model.h"
+#include "text/lexicons.h"
+
+namespace veritas {
+namespace {
+
+TEST(LexiconTest, LexiconsAreNonEmptyAndLowerCase) {
+  for (const auto* lexicon :
+       {&ModalLexicon(), &InferentialLexicon(), &HedgeLexicon(),
+        &PositiveAffectLexicon(), &NegativeAffectLexicon(),
+        &SubjectivityLexicon(), &TopicLexicon(), &FillerLexicon()}) {
+    ASSERT_FALSE(lexicon->empty());
+    for (const auto& word : *lexicon) {
+      for (const char ch : word) {
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(ch))) << word;
+      }
+    }
+  }
+}
+
+TEST(LexiconTest, TokenizeSplitsAndLowercases) {
+  const auto tokens = Tokenize("The study, REPORTEDLY, found 42 results!");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[2], "reportedly");
+  EXPECT_EQ(tokens[4], "results");
+}
+
+TEST(LexiconTest, TokenizeEmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... 123 !!!").empty());
+}
+
+TEST(SynthesisTest, GeneratesRequestedLength) {
+  Rng rng(1);
+  SynthesisOptions options;
+  options.min_words = 50;
+  options.max_words = 50;
+  const std::string text = SynthesizeDocumentText(0.5, options, &rng);
+  EXPECT_EQ(Tokenize(text).size(), 50u);
+}
+
+TEST(SynthesisTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  EXPECT_EQ(SynthesizeDocumentText(0.3, {}, &a), SynthesizeDocumentText(0.3, {}, &b));
+}
+
+TEST(SynthesisTest, ExtractedFeaturesHaveRightShape) {
+  Rng rng(2);
+  const std::string text = SynthesizeDocumentText(0.7, {}, &rng);
+  const auto features = ExtractDocumentFeatures(text);
+  ASSERT_EQ(features.size(), NumDocumentFeatures());
+  for (const double f : features) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(SynthesisTest, EmptyTextYieldsUninformativeFeatures) {
+  const auto features = ExtractDocumentFeatures("");
+  for (const double f : features) EXPECT_DOUBLE_EQ(f, 0.5);
+}
+
+TEST(SynthesisTest, ExtractionDetectsKnownWordClasses) {
+  // A hedge-heavy text must score high on the hedge feature (index 2) and
+  // low on inferential conjunctions (index 1), and vice versa.
+  const auto hedgy = ExtractDocumentFeatures(
+      "maybe perhaps allegedly reportedly possibly the of to and in");
+  const auto inferential = ExtractDocumentFeatures(
+      "therefore hence thus consequently because the of to and in");
+  EXPECT_GT(hedgy[2], inferential[2]);
+  EXPECT_GT(inferential[1], hedgy[1]);
+}
+
+TEST(SynthesisTest, QualitySignalSurvivesTheTextChannel) {
+  // The full pipeline — latent quality -> synthetic text -> lexicon
+  // extraction — must stay discriminative: high-quality documents score
+  // higher on inferential/coherence features and lower on hedging/affect.
+  Rng rng(3);
+  double hedge_low = 0.0, hedge_high = 0.0;
+  double coherence_low = 0.0, coherence_high = 0.0;
+  const int trials = 120;
+  for (int i = 0; i < trials; ++i) {
+    const auto low = ExtractDocumentFeatures(SynthesizeDocumentText(0.1, {}, &rng));
+    const auto high = ExtractDocumentFeatures(SynthesizeDocumentText(0.9, {}, &rng));
+    hedge_low += low[2];
+    hedge_high += high[2];
+    coherence_low += low[5];
+    coherence_high += high[5];
+  }
+  EXPECT_GT(hedge_low / trials, hedge_high / trials + 0.1);
+  EXPECT_GT(coherence_high / trials, coherence_low / trials + 0.1);
+}
+
+TEST(SynthesisTest, QualityEstimateFromExtractedFeaturesCorrelates) {
+  // Round-trip through text and the LanguageFeatureModel inverse estimator:
+  // higher latent quality must yield higher estimated quality on average.
+  LanguageFeatureModel model(0.0);
+  Rng rng(4);
+  double low = 0.0, high = 0.0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    low += model.EstimateQuality(
+        ExtractDocumentFeatures(SynthesizeDocumentText(0.15, {}, &rng)));
+    high += model.EstimateQuality(
+        ExtractDocumentFeatures(SynthesizeDocumentText(0.85, {}, &rng)));
+  }
+  EXPECT_GT(high / trials, low / trials + 0.2);
+}
+
+}  // namespace
+}  // namespace veritas
