@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: configure + build + test, exactly the tier-1 verify sequence
+# from ROADMAP.md. Any failure (configure error, compile error, test
+# failure) exits non-zero.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+cd "$build_dir"
+ctest --output-on-failure -j "$(nproc)"

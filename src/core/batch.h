@@ -1,3 +1,11 @@
+/// \file
+/// Batched guidance (§6.2), an extension of the guidance stage of the
+/// pipeline: instead of one claim per iteration, select k claims that
+/// jointly maximize the submodular utility F(B) (Eq. 27) — individual
+/// information gain minus source-overlap redundancy (Eq. 26) — by the
+/// greedy (1 - 1/e)-approximate algorithm. Batching amortizes the user's
+/// per-iteration set-up cost at a bounded precision cost (Figs. 10/11).
+
 #ifndef VERITAS_CORE_BATCH_H_
 #define VERITAS_CORE_BATCH_H_
 

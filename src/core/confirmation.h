@@ -1,3 +1,11 @@
+/// \file
+/// Confirmation stage of the pipeline (grounding -> inference -> guidance ->
+/// confirmation -> termination): the leave-one-out check of §5.2 that
+/// audits past user input. Each validated claim is re-inferred from all
+/// other information with frozen weights; a label the rest of the database
+/// decisively contradicts is flagged for repair (re-elicitation). See
+/// DESIGN.md §5.4 for the margin and neutral-prior refinements.
+
 #ifndef VERITAS_CORE_CONFIRMATION_H_
 #define VERITAS_CORE_CONFIRMATION_H_
 

@@ -1,3 +1,11 @@
+/// \file
+/// Grounding stage of the pipeline (grounding -> inference -> guidance ->
+/// confirmation -> termination): instantiates the deterministic fact
+/// database g: C -> {0,1} from the posterior (Eq. 10), and derives the
+/// quality signals built on it — grounding precision vs ground truth
+/// (§8.1), source trustworthiness (Eq. 17, stance-aware per DESIGN.md §5.1)
+/// and the unreliable-source ratio consumed by the hybrid strategy.
+
 #ifndef VERITAS_CORE_GROUNDING_H_
 #define VERITAS_CORE_GROUNDING_H_
 

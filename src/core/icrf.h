@@ -1,3 +1,12 @@
+/// \file
+/// Inference stage of the pipeline (grounding -> inference -> guidance ->
+/// confirmation -> termination): the iCRF incremental EM engine (§3.2).
+/// Wraps the CRF model, its pairwise-MRF reduction and Gibbs E-step, and
+/// the TRON M-step behind one object that warm-starts every validation
+/// iteration from cached structures. Also exposes the two primitives the
+/// later stages are built on: hypothetical re-inference with frozen weights
+/// (ResampleProbs) and bounded coupling neighborhoods (Neighborhood).
+
 #ifndef VERITAS_CORE_ICRF_H_
 #define VERITAS_CORE_ICRF_H_
 

@@ -1,3 +1,12 @@
+/// \file
+/// Guidance stage of the pipeline (grounding -> inference -> guidance ->
+/// confirmation -> termination): the claim-selection strategies of §4
+/// (random, uncertainty, claim info-gain, source info-gain, hybrid) and
+/// the runtime variants of §5.1 that make info-gain scoring tractable
+/// (approximate entropy, candidate pool, neighborhood partitioning,
+/// parallel evaluation). See DESIGN.md §§2-4 for the variant/policy/knob
+/// catalogue.
+
 #ifndef VERITAS_CORE_STRATEGY_H_
 #define VERITAS_CORE_STRATEGY_H_
 

@@ -1,3 +1,11 @@
+/// \file
+/// Streaming fact checking (Algorithm 2, §7): the whole pipeline
+/// (grounding -> inference -> guidance -> confirmation -> termination)
+/// re-hosted in a setting where claims arrive over time. Model weights are
+/// maintained by online EM with stochastic approximation (Eq. 29-30)
+/// instead of full re-training, and validation (Algorithm 1) runs on
+/// synced snapshots, sharing the same parameter vector.
+
 #ifndef VERITAS_CORE_STREAMING_H_
 #define VERITAS_CORE_STREAMING_H_
 

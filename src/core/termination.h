@@ -1,3 +1,11 @@
+/// \file
+/// Termination stage of the pipeline (grounding -> inference -> guidance ->
+/// confirmation -> termination): the four convergence indicators of §6.1
+/// (uncertainty-reduction rate, changes-in-grounding, prediction streak,
+/// precision-improvement rate via cross-validation) that let the
+/// validation process stop as soon as further user effort stops paying
+/// for itself.
+
 #ifndef VERITAS_CORE_TERMINATION_H_
 #define VERITAS_CORE_TERMINATION_H_
 

@@ -1,3 +1,10 @@
+/// \file
+/// The human in the loop: simulated validators that answer the claims the
+/// guidance stage selects (§8.1 simulates user input from ground truth).
+/// Oracle, erroneous (§8.5 mistake scenario, exercised by the confirmation
+/// stage) and skipping (§8.5 missing-input scenario) variants drive the
+/// experiments; real deployments implement the same interface.
+
 #ifndef VERITAS_CORE_USER_MODEL_H_
 #define VERITAS_CORE_USER_MODEL_H_
 

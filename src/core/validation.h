@@ -1,3 +1,11 @@
+/// \file
+/// The validation process (Algorithm 1, §5.1): the driver that wires the
+/// whole pipeline — grounding -> inference -> guidance -> confirmation ->
+/// termination — into the interactive loop. Each iteration selects claims,
+/// elicits user input, runs iCRF inference, re-grounds the database,
+/// updates the hybrid z-score, and consults the confirmation check and
+/// termination monitor. Produces the per-iteration trace behind Figs. 3-9.
+
 #ifndef VERITAS_CORE_VALIDATION_H_
 #define VERITAS_CORE_VALIDATION_H_
 
