@@ -1,13 +1,23 @@
 // Google-benchmark microbenchmarks of the inference kernels: Gibbs sweeps,
 // TRON M-steps, entropy computation and PageRank. These quantify the
-// linear-time claims of Props. 1-3 at the kernel level.
+// linear-time claims of Props. 1-3 at the kernel level, plus the
+// HypotheticalEngine claims of DESIGN.md §8: CSR vs. nested-vector
+// adjacency locality, cached vs. recomputed neighborhoods, and pooled vs.
+// fresh-allocation candidate evaluation.
 
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
+#include "common/math.h"
 #include "common/rng.h"
+#include "core/icrf.h"
 #include "crf/entropy.h"
 #include "crf/gibbs.h"
+#include "crf/hypothetical.h"
 #include "crf/model.h"
+#include "crf/partition.h"
 #include "data/emulator.h"
 #include "graph/centrality.h"
 #include "graph/generator.h"
@@ -49,6 +59,156 @@ void BM_GibbsSweep(benchmark::State& state) {
                           state.range(0) * 10);
 }
 BENCHMARK(BM_GibbsSweep)->Arg(50)->Arg(200)->Arg(800);
+
+ClaimMrf MakeBenchMrf(size_t claims) {
+  const EmulatedCorpus corpus = MakeCorpus(claims);
+  CrfModel model = CrfModel::ForDatabase(corpus.db);
+  CrfConfig config;
+  const auto couplings = BuildSourceCouplings(corpus.db, config);
+  std::vector<double> prev(corpus.db.num_claims(), 0.5);
+  return BuildClaimMrf(corpus.db, model, prev, config, couplings);
+}
+
+// Bare Gibbs sweeps over the flat-CSR adjacency vs. the pre-refactor
+// nested vector<vector<pair>> layout: identical math and rng stream, only
+// the memory layout differs. The gap is the locality win of DESIGN.md §8.
+void BM_GibbsSweepCsrAdjacency(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  SpinConfig spins(n, 0);
+  Rng rng(29);
+  for (auto _ : state) {
+    for (size_t c = 0; c < n; ++c) {
+      double neighbor_term = 0.0;
+      const size_t end = mrf.offsets[c + 1];
+      for (size_t k = mrf.offsets[c]; k < end; ++k) {
+        neighbor_term +=
+            mrf.couplings[k] * (spins[mrf.neighbors[k]] != 0 ? 1.0 : -1.0);
+      }
+      spins[c] =
+          rng.Bernoulli(Sigmoid(2.0 * (mrf.field[c] + neighbor_term))) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(spins.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GibbsSweepCsrAdjacency)->Arg(200)->Arg(800)->Arg(3200);
+
+void BM_GibbsSweepNestedAdjacency(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  std::vector<std::vector<std::pair<ClaimId, double>>> adjacency(n);
+  for (const auto& edge : mrf.edges) {
+    adjacency[edge.a].emplace_back(edge.b, edge.j);
+    adjacency[edge.b].emplace_back(edge.a, edge.j);
+  }
+  SpinConfig spins(n, 0);
+  Rng rng(29);
+  for (auto _ : state) {
+    for (size_t c = 0; c < n; ++c) {
+      double neighbor_term = 0.0;
+      for (const auto& [nbr, j] : adjacency[c]) {
+        neighbor_term += j * (spins[nbr] != 0 ? 1.0 : -1.0);
+      }
+      spins[c] =
+          rng.Bernoulli(Sigmoid(2.0 * (mrf.field[c] + neighbor_term))) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(spins.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GibbsSweepNestedAdjacency)->Arg(200)->Arg(800)->Arg(3200);
+
+// Cached engine neighborhoods vs. a fresh BFS per lookup (what the five
+// call sites used to do on every candidate evaluation).
+void BM_NeighborhoodRecomputed(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  size_t total = 0;
+  for (auto _ : state) {
+    for (ClaimId c = 0; c < n; ++c) {
+      total += CouplingNeighborhood(mrf, c, 2, 128).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NeighborhoodRecomputed)->Arg(200)->Arg(800);
+
+void BM_NeighborhoodCached(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  HypotheticalEngine engine;
+  engine.Bind(&mrf, nullptr, GibbsOptions{}, /*structure_changed=*/true);
+  size_t total = 0;
+  for (auto _ : state) {
+    for (ClaimId c = 0; c < n; ++c) {
+      total += engine.Neighborhood(c, 2, 128).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NeighborhoodCached)->Arg(200)->Arg(800);
+
+// Pooled EvaluateCandidate vs. the pre-refactor per-candidate plumbing
+// (BeliefState copy + fresh sample buffers + probability-vector assembly).
+void BM_EvaluateCandidatePooled(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  HypotheticalEngine engine;
+  GibbsOptions gibbs{8, 24, 1};
+  engine.Bind(&mrf, nullptr, gibbs, /*structure_changed=*/true);
+  BeliefState belief(n);
+  HypotheticalOptions options;
+  ClaimId c = 0;
+  for (auto _ : state) {
+    auto evaluation = engine.EvaluateCandidate(belief, c, 0, options);
+    if (!evaluation.ok()) std::abort();
+    benchmark::DoNotOptimize(evaluation.value().probs().data());
+    c = (c + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateCandidatePooled)->Arg(200)->Arg(800);
+
+void BM_EvaluateCandidateFresh(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  GibbsOptions gibbs{8, 24, 1};
+  BeliefState belief(n);
+  HypotheticalOptions options;
+  ClaimId c = 0;
+  for (auto _ : state) {
+    // The pre-refactor call-site plumbing, allocation for allocation:
+    // BFS the neighborhood, copy the belief state, run RunGibbs (sample
+    // set), average marginals, assemble the probability vector.
+    const std::vector<ClaimId> hood = CouplingNeighborhood(
+        mrf, c, options.neighborhood_radius, options.neighborhood_cap);
+    BeliefState hypo = belief;
+    hypo.SetLabel(c, true);
+    SpinConfig warm(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      warm[i] = hypo.prob(static_cast<ClaimId>(i)) >= 0.5 ? 1 : 0;
+    }
+    Rng rng = CandidateRng(options.seed, c, 0);
+    auto samples = RunGibbs(mrf, hypo, &warm, &hood, gibbs, &rng);
+    if (!samples.ok()) std::abort();
+    const std::vector<double> marginals = samples.value().Marginals(hypo);
+    std::vector<double> probs = hypo.probs();
+    for (const ClaimId id : hood) {
+      if (!hypo.IsLabeled(id)) probs[id] = marginals[id];
+    }
+    benchmark::DoNotOptimize(probs.data());
+    c = (c + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateCandidateFresh)->Arg(200)->Arg(800);
 
 void BM_TronMStep(benchmark::State& state) {
   const EmulatedCorpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));

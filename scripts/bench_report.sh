@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Guidance-latency perf report: runs bench_fig02_response_time (default
+# scale — the paper's per-iteration response time, Fig. 2) plus the
+# HypotheticalEngine micro-kernels from bench_micro_kernels (when Google
+# Benchmark is available), and emits BENCH_guidance.json next to the repo
+# root. The committed scripts/bench_baseline_fig02.json (pre-refactor
+# capture) is embedded so every future PR has a perf trajectory to compare
+# against.
+#
+# Usage: scripts/bench_report.sh [build-dir] [output-json]
+#        (defaults: build, BENCH_guidance.json)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+out_json="${2:-$repo_root/BENCH_guidance.json}"
+
+cmake --build "$build_dir" -j "$(nproc)" --target bench_fig02_response_time \
+  > /dev/null
+
+fig02_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt"' EXIT
+"$build_dir"/bench/bench_fig02_response_time | tee "$fig02_txt"
+
+# Parse the fig02 table (dataset origin scalable parallel+partition) into
+# JSON rows. Data rows follow the dashed separator and precede the
+# shape-check footer.
+fig02_rows="$(awk '
+  /^-+$/ { in_table = 1; next }
+  /^#/   { in_table = 0 }
+  in_table && NF >= 4 {
+    if (count++) printf ",\n";
+    printf "    {\"dataset\": \"%s\", \"origin\": %s, \"scalable\": %s, \"parallel_partition\": %s}", $1, $2, $3, $4
+  }
+' "$fig02_txt")"
+
+# Micro-kernels (optional: needs Google Benchmark at configure time).
+micro_json="null"
+if cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_kernels \
+    > /dev/null 2>&1 && [[ -x "$build_dir"/bench/bench_micro_kernels ]]; then
+  micro_file="$(mktemp)"
+  "$build_dir"/bench/bench_micro_kernels \
+    --benchmark_filter='GibbsSweep|Neighborhood|EvaluateCandidate' \
+    --benchmark_format=json --benchmark_min_time=0.05 \
+    > "$micro_file" 2>/dev/null || true
+  if [[ -s "$micro_file" ]]; then
+    micro_json="$(cat "$micro_file")"
+  fi
+  rm -f "$micro_file"
+fi
+
+baseline_json="null"
+if [[ -f "$repo_root/scripts/bench_baseline_fig02.json" ]]; then
+  baseline_json="$(cat "$repo_root/scripts/bench_baseline_fig02.json")"
+fi
+
+{
+  echo "{"
+  echo "  \"generated_by\": \"scripts/bench_report.sh\","
+  echo "  \"fig02_response_time\": {"
+  echo "    \"unit\": \"seconds/iteration\","
+  echo "    \"rows\": ["
+  printf '%s\n' "$fig02_rows"
+  echo "    ]"
+  echo "  },"
+  echo "  \"pre_refactor_baseline\": $baseline_json,"
+  echo "  \"micro_kernels\": $micro_json"
+  echo "}"
+} > "$out_json"
+
+echo "wrote $out_json"

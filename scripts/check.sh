@@ -3,11 +3,36 @@
 # from ROADMAP.md. Any failure (configure error, compile error, test
 # failure) exits non-zero.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [build-dir]          (default: build)
+#        ASAN=1 scripts/check.sh [build-dir]   (default: build-asan)
+#
+# ASAN=1 builds with Address + UndefinedBehavior sanitizers and runs the
+# crf/ and core/ suites — the ones exercising the HypotheticalEngine
+# scratch-buffer pooling and the CSR adjacency — so buffer reuse stays
+# leak- and UB-clean.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${ASAN:-0}" == "1" ]]; then
+  build_dir="${1:-build-asan}"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVERITAS_BUILD_BENCH=OFF \
+    -DVERITAS_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$build_dir" -j "$(nproc)"
+  status=0
+  for suite in "$build_dir"/tests/crf_*_test "$build_dir"/tests/core_*_test; do
+    echo "== ${suite##*/}"
+    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 "$suite" \
+      --gtest_brief=1 || status=1
+  done
+  exit "$status"
+fi
+
 build_dir="${1:-build}"
 
 cmake -B "$build_dir" -S "$repo_root"

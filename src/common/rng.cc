@@ -157,4 +157,9 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
 
+Rng CandidateRng(uint64_t seed, uint64_t candidate, int branch) {
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (candidate + 1)) ^
+             (0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(branch + 1)));
+}
+
 }  // namespace veritas

@@ -76,6 +76,14 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Deterministic per-candidate random stream for hypothetical re-inference:
+/// splitmix-style mixing of (seed, candidate, branch) yields a generator
+/// that depends only on those three values, never on evaluation order or
+/// thread scheduling. All hypothetical re-inference sites (guidance,
+/// batching, confirmation, cross-validation) derive their chains through
+/// this function so results are reproducible from a single seed.
+Rng CandidateRng(uint64_t seed, uint64_t candidate, int branch);
+
 }  // namespace veritas
 
 #endif  // VERITAS_COMMON_RNG_H_

@@ -88,6 +88,9 @@ Result<BatchSelection> SelectBatch(const ICrf& icrf, const BeliefState& state,
     return Status::NotFound("SelectBatch: no unlabeled claims");
   }
 
+  // Per-candidate IG_C flows through the shared HypotheticalEngine: the
+  // batch selector reuses the cached neighborhoods and pooled scratch
+  // buffers of the single-claim guidance path (DESIGN.md §8).
   auto gains_result =
       ComputeClaimInfoGains(icrf, state, candidates, options.guidance, pool);
   if (!gains_result.ok()) return gains_result.status();

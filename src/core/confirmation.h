@@ -9,9 +9,9 @@
 #ifndef VERITAS_CORE_CONFIRMATION_H_
 #define VERITAS_CORE_CONFIRMATION_H_
 
+#include <cstdint>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/status.h"
 #include "core/icrf.h"
 #include "data/model.h"
@@ -29,17 +29,19 @@ struct ConfirmationOptions {
   double margin = 0.15;
   /// Independent re-inference repetitions averaged before thresholding.
   size_t repetitions = 2;
+  /// Base seed of the per-claim random streams (CandidateRng): verdicts are
+  /// independent of the order in which labels are audited.
+  uint64_t seed = 29;
 };
 
 /// Leave-one-out confirmation check (§5.2): for every validated claim c,
 /// re-infers its credibility from all other information (label of c removed,
-/// weights frozen) and flags c when the re-inferred grounding disagrees with
-/// the user's input — the signature of an accidental mis-validation.
-/// Returns the flagged claim ids.
+/// weights frozen, via HypotheticalEngine::EvaluateHoldout) and flags c when
+/// the re-inferred grounding disagrees with the user's input — the signature
+/// of an accidental mis-validation. Returns the flagged claim ids.
 Result<std::vector<ClaimId>> FindSuspiciousLabels(const ICrf& icrf,
                                                   const BeliefState& state,
-                                                  const ConfirmationOptions& options,
-                                                  Rng* rng);
+                                                  const ConfirmationOptions& options);
 
 }  // namespace veritas
 

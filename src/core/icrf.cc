@@ -31,7 +31,13 @@ Status ICrf::SyncStructures() {
   const size_t want_dim = 1 + db_->document_feature_dim() + db_->source_feature_dim();
   if (model_.feature_dim() != want_dim) model_ = CrfModel(want_dim);
   structures_built_ = true;
+  structure_dirty_ = true;
   return Status::OK();
+}
+
+void ICrf::MarkStructuresStale() {
+  structures_built_ = false;
+  structure_dirty_ = true;
 }
 
 Result<InferenceStats> ICrf::Infer(BeliefState* state) {
@@ -98,6 +104,12 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
       evidence_field_[c] = 0.5 * evidence[c];
     }
   }
+  // Re-bind the hypothetical engine to the fresh model snapshot. Cached
+  // neighborhoods survive unless the coupling structure itself changed
+  // (SyncStructures ran) — fields change every iteration, edges do not.
+  hypothetical_.Bind(&mrf_, &evidence_field_, options_.hypothetical_gibbs,
+                     structure_dirty_);
+  structure_dirty_ = false;
   ready_ = true;
   return stats;
 }
@@ -109,58 +121,16 @@ Result<std::vector<double>> ICrf::ResampleProbs(const BeliefState& state,
   if (!ready_) {
     return Status::FailedPrecondition("ICrf::ResampleProbs: call Infer() first");
   }
-  if (state.num_claims() != mrf_.num_claims()) {
-    return Status::InvalidArgument("ICrf::ResampleProbs: state size mismatch");
-  }
-  // Warm-start from the current MAP-ish spins so the restricted chain mixes
-  // quickly from the incumbent configuration.
-  SpinConfig warm(state.num_claims(), 0);
-  for (size_t c = 0; c < state.num_claims(); ++c) {
-    warm[c] = state.prob(static_cast<ClaimId>(c)) >= 0.5 ? 1 : 0;
-  }
-  FieldOverrides overrides;
-  if (neutral_prior) {
-    if (restrict != nullptr) {
-      for (const ClaimId c : *restrict) {
-        if (c < evidence_field_.size()) {
-          overrides.emplace_back(c, evidence_field_[c]);
-        }
-      }
-    } else {
-      for (ClaimId c = 0; c < evidence_field_.size(); ++c) {
-        overrides.emplace_back(c, evidence_field_[c]);
-      }
-    }
-  }
-  auto samples =
-      RunGibbs(mrf_, state, &warm, restrict, options_.hypothetical_gibbs, rng,
-               overrides.empty() ? nullptr : &overrides);
-  if (!samples.ok()) return samples.status();
-  const std::vector<double> marginals = samples.value().Marginals(state);
-
-  std::vector<double> probs = state.probs();
-  for (size_t c = 0; c < probs.size(); ++c) {
-    const ClaimId id = static_cast<ClaimId>(c);
-    if (state.IsLabeled(id)) {
-      probs[c] = state.label(id) == ClaimLabel::kCredible ? 1.0 : 0.0;
-    }
-  }
-  if (restrict == nullptr) {
-    for (size_t c = 0; c < probs.size(); ++c) {
-      if (!state.IsLabeled(static_cast<ClaimId>(c))) probs[c] = marginals[c];
-    }
-  } else {
-    for (const ClaimId id : *restrict) {
-      if (id < probs.size() && !state.IsLabeled(id)) probs[id] = marginals[id];
-    }
-  }
-  return probs;
+  auto evaluation =
+      hypothetical_.ResampleScoped(state, restrict, rng, neutral_prior);
+  if (!evaluation.ok()) return evaluation.status();
+  return evaluation.value().probs();
 }
 
 std::vector<ClaimId> ICrf::Neighborhood(ClaimId claim, size_t radius,
                                         size_t max_claims) const {
   if (!ready_) return {claim};
-  return CouplingNeighborhood(mrf_, claim, radius, max_claims);
+  return hypothetical_.Neighborhood(claim, radius, max_claims);
 }
 
 }  // namespace veritas

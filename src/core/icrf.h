@@ -1,11 +1,14 @@
 /// \file
 /// Inference stage of the pipeline (grounding -> inference -> guidance ->
 /// confirmation -> termination): the iCRF incremental EM engine (§3.2).
-/// Wraps the CRF model, its pairwise-MRF reduction and Gibbs E-step, and
-/// the TRON M-step behind one object that warm-starts every validation
-/// iteration from cached structures. Also exposes the two primitives the
-/// later stages are built on: hypothetical re-inference with frozen weights
-/// (ResampleProbs) and bounded coupling neighborhoods (Neighborhood).
+/// Wraps the CRF model, its flat-CSR pairwise-MRF reduction and Gibbs
+/// E-step, and the TRON M-step behind one object that warm-starts every
+/// validation iteration from cached structures. The primitives the later
+/// stages are built on — hypothetical re-inference with frozen weights and
+/// cached bounded coupling neighborhoods — live in the owned
+/// HypotheticalEngine (crf/hypothetical.h, DESIGN.md §8), re-bound after
+/// every Infer(); ResampleProbs/Neighborhood remain as thin delegating
+/// wrappers.
 
 #ifndef VERITAS_CORE_ICRF_H_
 #define VERITAS_CORE_ICRF_H_
@@ -15,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "crf/gibbs.h"
+#include "crf/hypothetical.h"
 #include "crf/model.h"
 #include "crf/mrf.h"
 #include "crf/partition.h"
@@ -53,8 +57,15 @@ class ICrf {
   ICrf(const FactDatabase* db, const ICrfOptions& options, uint64_t seed);
 
   /// Rebuilds cached structures (couplings, partition, claim-source map)
-  /// from the current database contents.
+  /// from the current database contents. Marks the coupling structure
+  /// dirty, so the hypothetical engine drops its cached neighborhoods at
+  /// the next Infer().
   Status SyncStructures();
+
+  /// Flags the cached structures as stale after external database growth
+  /// (streaming arrivals, §7): the next Infer() re-syncs and the
+  /// hypothetical engine invalidates its neighborhood cache.
+  void MarkStructuresStale();
 
   /// Full incremental EM inference: updates the probabilities of unlabeled
   /// claims in *state from the current model, then refits the weights.
@@ -69,15 +80,24 @@ class ICrf {
   /// leave-one-out checks (§5.2, §6.1), where the prior of the label under
   /// scrutiny would anchor the chain to that very label.
   /// Thread-safe: callers supply their own Rng. Requires a prior Infer().
+  /// Thin wrapper over HypotheticalEngine::ResampleScoped that copies the
+  /// pooled result out; hot paths hold an Evaluation lease via
+  /// hypothetical() instead.
   Result<std::vector<double>> ResampleProbs(const BeliefState& state,
                                             const std::vector<ClaimId>* restrict,
                                             Rng* rng,
                                             bool neutral_prior = false) const;
 
   /// Bounded coupling-graph neighborhood of a claim (partition optimization,
-  /// §5.1). Requires a prior Infer().
+  /// §5.1). Requires a prior Infer(). Copies the engine's cached
+  /// neighborhood out; hot paths use hypothetical().Neighborhood().
   std::vector<ClaimId> Neighborhood(ClaimId claim, size_t radius,
                                     size_t max_claims) const;
+
+  /// The shared hypothetical re-inference engine (DESIGN.md §8), bound to
+  /// the current model after every Infer(). Guidance, batching,
+  /// confirmation and termination all evaluate through it.
+  const HypotheticalEngine& hypothetical() const { return hypothetical_; }
 
   const FactDatabase& db() const { return *db_; }
   const ICrfOptions& options() const { return options_; }
@@ -111,10 +131,12 @@ class ICrf {
   std::vector<std::vector<size_t>> source_cliques_;
   ClaimMrf mrf_;
   std::vector<double> evidence_field_;  ///< prior-free fields (0.5 * evidence)
+  HypotheticalEngine hypothetical_;
   SampleSet last_samples_;
   SpinConfig warm_config_;
   bool ready_ = false;
   bool structures_built_ = false;
+  bool structure_dirty_ = true;  ///< couplings changed since the last Bind
 };
 
 }  // namespace veritas

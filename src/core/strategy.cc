@@ -59,11 +59,16 @@ double HybridScore(double error_rate, double unreliable_ratio,
 
 namespace {
 
-/// Deterministic per-candidate random stream: evaluation order (and thread
-/// scheduling) never changes the scores.
-Rng CandidateRng(uint64_t seed, ClaimId candidate, int branch) {
-  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (candidate + 1)) ^
-             (0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(branch + 1)));
+/// Knobs of one hypothetical evaluation, derived from the guidance config.
+/// `rng_stream` decorrelates the random streams of IG_C (0) and IG_S (2).
+HypotheticalOptions HypotheticalFromGuidance(const GuidanceConfig& config,
+                                             int rng_stream) {
+  HypotheticalOptions options;
+  options.neighborhood_radius = config.neighborhood_radius;
+  options.neighborhood_cap = config.neighborhood_cap;
+  options.seed = config.seed;
+  options.rng_stream = rng_stream;
+  return options;
 }
 
 /// Ranks candidates by decreasing score, ties broken by id for determinism.
@@ -103,12 +108,15 @@ Result<std::vector<double>> ComputeClaimInfoGains(
   if (!icrf.ready()) {
     return Status::FailedPrecondition("ComputeClaimInfoGains: inference not run");
   }
+  const HypotheticalEngine& engine = icrf.hypothetical();
+  const HypotheticalOptions hypothetical_options =
+      HypotheticalFromGuidance(config, /*rng_stream=*/0);
   std::vector<double> gains(candidates.size(), 0.0);
   std::vector<Status> failures(candidates.size());
 
   ForEachCandidate(config, pool, candidates.size(), [&](size_t i) {
     const ClaimId c = candidates[i];
-    const std::vector<ClaimId> neighborhood = icrf.Neighborhood(
+    const std::vector<ClaimId>& neighborhood = engine.Neighborhood(
         c, config.neighborhood_radius, config.neighborhood_cap);
     const double p = ClampProb(state.prob(c));
 
@@ -138,11 +146,13 @@ Result<std::vector<double>> ComputeClaimInfoGains(
       const bool value = branch == 0;
       const double branch_weight = value ? p : 1.0 - p;
       if (branch_weight <= kProbEpsilon) continue;
-      BeliefState hypo = state;
-      hypo.SetLabel(c, value);
       double h_branch = 0.0;
       bool branch_exact = false;
       if (exact_ok) {
+        // Exact path (kOrigin): enumerate/BP over the hypothetically
+        // labeled component instead of sampling.
+        BeliefState hypo = state;
+        hypo.SetLabel(c, value);
         auto exact = ExactComponentEntropy(icrf.mrf(), hypo, *entropy_scope,
                                            config.max_enumeration_claims);
         if (exact.ok()) {
@@ -151,13 +161,14 @@ Result<std::vector<double>> ComputeClaimInfoGains(
         }
       }
       if (!branch_exact) {
-        Rng rng = CandidateRng(config.seed, c, branch);
-        auto probs = icrf.ResampleProbs(hypo, &neighborhood, &rng);
-        if (!probs.ok()) {
-          failures[i] = probs.status();
+        auto evaluation =
+            engine.EvaluateCandidate(state, c, branch, hypothetical_options);
+        if (!evaluation.ok()) {
+          failures[i] = evaluation.status();
           return;
         }
-        h_branch = ApproxSubsetEntropy(probs.value(), *entropy_scope);
+        h_branch =
+            ApproxSubsetEntropy(evaluation.value().probs(), *entropy_scope);
       }
       h_after_expected += branch_weight * h_branch;
     }
@@ -178,6 +189,9 @@ Result<std::vector<double>> ComputeSourceInfoGains(
     return Status::FailedPrecondition("ComputeSourceInfoGains: inference not run");
   }
   const FactDatabase& db = icrf.db();
+  const HypotheticalEngine& engine = icrf.hypothetical();
+  const HypotheticalOptions hypothetical_options =
+      HypotheticalFromGuidance(config, /*rng_stream=*/2);
   const Grounding current = GroundingFromProbs(state.probs());
   std::vector<double> gains(candidates.size(), 0.0);
   std::vector<Status> failures(candidates.size());
@@ -200,7 +214,7 @@ Result<std::vector<double>> ComputeSourceInfoGains(
 
   ForEachCandidate(config, pool, candidates.size(), [&](size_t i) {
     const ClaimId c = candidates[i];
-    const std::vector<ClaimId> neighborhood = icrf.Neighborhood(
+    const std::vector<ClaimId>& neighborhood = engine.Neighborhood(
         c, config.neighborhood_radius, config.neighborhood_cap);
     // Affected sources: any source touching the neighborhood.
     std::vector<SourceId> affected;
@@ -226,15 +240,14 @@ Result<std::vector<double>> ComputeSourceInfoGains(
       const bool value = branch == 0;
       const double branch_weight = value ? p : 1.0 - p;
       if (branch_weight <= kProbEpsilon) continue;
-      BeliefState hypo = state;
-      hypo.SetLabel(c, value);
-      Rng rng = CandidateRng(config.seed, c, branch + 2);
-      auto probs = icrf.ResampleProbs(hypo, &neighborhood, &rng);
-      if (!probs.ok()) {
-        failures[i] = probs.status();
+      auto evaluation =
+          engine.EvaluateCandidate(state, c, branch, hypothetical_options);
+      if (!evaluation.ok()) {
+        failures[i] = evaluation.status();
         return;
       }
-      const Grounding hypothetical = GroundingFromProbs(probs.value());
+      const Grounding hypothetical =
+          GroundingFromProbs(evaluation.value().probs());
       double h_branch = 0.0;
       for (const SourceId s : affected) {
         h_branch += BinaryEntropy(local_trust(s, hypothetical, in_scope));

@@ -38,6 +38,9 @@ Result<ArrivalStats> StreamingFactChecker::OnClaimArrival(
   }
   state_.Append(0.5);
   ++arrivals_;
+  // The arrival changed the coupling structure: the shared hypothetical
+  // engine must drop its cached neighborhoods when validation next syncs.
+  icrf_.MarkStructuresStale();
 
   Stopwatch watch;
   ArrivalStats stats;

@@ -75,6 +75,13 @@ class StreamingFactChecker {
   /// full iCRF pass — call before invoking validation on the snapshot.
   Result<InferenceStats> SyncForValidation();
 
+  /// The hypothetical re-inference engine shared with validation (Alg. 1
+  /// and Alg. 2 guide over the same cached neighborhoods and scratch
+  /// pools; arrivals invalidate it, SyncForValidation() re-binds it).
+  const HypotheticalEngine& hypothetical() const {
+    return icrf_.hypothetical();
+  }
+
   const FactDatabase& db() const { return db_; }
   const BeliefState& state() const { return state_; }
   BeliefState* mutable_state() { return &state_; }

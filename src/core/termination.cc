@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.h"
 #include "common/stats.h"
 
 namespace veritas {
@@ -75,7 +76,7 @@ bool TerminationMonitor::ShouldStop(std::string* reason) const {
 }
 
 Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
-                                   size_t folds, Rng* rng,
+                                   size_t folds, uint64_t seed,
                                    size_t neighborhood_radius,
                                    size_t neighborhood_cap) {
   const std::vector<ClaimId> labeled = state.LabeledClaims();
@@ -84,9 +85,11 @@ Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
   }
   auto split = KFoldSplit(labeled.size(), folds);
   if (!split.ok()) return split.status();
+  const HypotheticalEngine& engine = icrf.hypothetical();
 
   double total_accuracy = 0.0;
-  for (const auto& fold : split.value()) {
+  for (size_t fold_index = 0; fold_index < split.value().size(); ++fold_index) {
+    const auto& fold = split.value()[fold_index];
     BeliefState holdout = state;
     std::vector<ClaimId> fold_claims;
     fold_claims.reserve(fold.size());
@@ -94,13 +97,13 @@ Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
       fold_claims.push_back(labeled[index]);
       holdout.ClearLabel(labeled[index], 0.5);
     }
-    // Re-infer over the union of the fold claims' neighborhoods.
+    // Re-infer over the union of the fold claims' cached neighborhoods.
     std::vector<ClaimId> scope;
     {
       std::vector<uint8_t> seen(state.num_claims(), 0);
       for (const ClaimId c : fold_claims) {
         for (const ClaimId n :
-             icrf.Neighborhood(c, neighborhood_radius, neighborhood_cap)) {
+             engine.Neighborhood(c, neighborhood_radius, neighborhood_cap)) {
           if (!seen[n]) {
             seen[n] = 1;
             scope.push_back(n);
@@ -108,11 +111,15 @@ Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
         }
       }
     }
-    auto probs = icrf.ResampleProbs(holdout, &scope, rng, /*neutral_prior=*/true);
-    if (!probs.ok()) return probs.status();
+    Rng rng = CandidateRng(seed, fold_claims.front(),
+                           static_cast<int>(fold_index));
+    auto evaluation =
+        engine.ResampleScoped(holdout, &scope, &rng, /*neutral_prior=*/true);
+    if (!evaluation.ok()) return evaluation.status();
+    const std::vector<double>& probs = evaluation.value().probs();
     size_t correct = 0;
     for (const ClaimId c : fold_claims) {
-      const bool predicted = probs.value()[c] >= 0.5;
+      const bool predicted = probs[c] >= 0.5;
       const bool user_value = state.label(c) == ClaimLabel::kCredible;
       if (predicted == user_value) ++correct;
     }

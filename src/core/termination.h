@@ -9,10 +9,10 @@
 #ifndef VERITAS_CORE_TERMINATION_H_
 #define VERITAS_CORE_TERMINATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/status.h"
 #include "core/grounding.h"
 #include "core/icrf.h"
@@ -85,11 +85,14 @@ class TerminationMonitor {
 
 /// Estimated model precision by k-fold cross-validation over the labelled
 /// claims (§6.1 "Precision improvement rate"): per fold, the fold's labels
-/// are removed, credibility is re-inferred with frozen weights, and the
-/// re-inferred grounding is compared with the held-out user input. Errors
-/// when fewer labelled claims than folds exist.
+/// are removed, credibility is re-inferred with frozen weights over the
+/// union of the fold claims' cached coupling neighborhoods
+/// (HypotheticalEngine), and the re-inferred grounding is compared with the
+/// held-out user input. Each fold's chain derives from CandidateRng(seed,
+/// first fold claim, fold index), so the estimate is reproducible from
+/// `seed` alone. Errors when fewer labelled claims than folds exist.
 Result<double> EstimateCvPrecision(const ICrf& icrf, const BeliefState& state,
-                                   size_t folds, Rng* rng,
+                                   size_t folds, uint64_t seed,
                                    size_t neighborhood_radius = 2,
                                    size_t neighborhood_cap = 128);
 

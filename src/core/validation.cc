@@ -16,8 +16,7 @@ ValidationProcess::ValidationProcess(const FactDatabase* db, UserModel* user,
       icrf_(db, options.icrf, options.seed),
       strategy_(MakeStrategy(options.strategy, options.guidance)),
       state_(db->num_claims()),
-      monitor_(options.termination),
-      rng_(options.seed ^ 0x5bd1e995ULL) {
+      monitor_(options.termination) {
   hybrid_ = dynamic_cast<HybridControl*>(strategy_.get());
   if (options_.batch_size > 1 &&
       options_.guidance.variant == GuidanceVariant::kParallelPartition) {
@@ -190,8 +189,10 @@ Result<bool> ValidationProcess::Step(ValidationOutcome* outcome) {
   signals.cv_precision = -1.0;
   if (options_.termination.enable_pir &&
       iteration_ % std::max<size_t>(1, options_.termination.pir_interval) == 0) {
+    // Salted so the CV chains never collide with the guidance streams.
     auto cv = EstimateCvPrecision(icrf_, state_, options_.termination.pir_folds,
-                                  &rng_, options_.guidance.neighborhood_radius,
+                                  options_.seed ^ 0x2545f4914f6cdd1dULL,
+                                  options_.guidance.neighborhood_radius,
                                   options_.guidance.neighborhood_cap);
     if (cv.ok()) signals.cv_precision = cv.value();
   }
@@ -214,7 +215,9 @@ Status ValidationProcess::RunConfirmationCheck(ValidationOutcome* outcome,
   ConfirmationOptions options;
   options.neighborhood_radius = options_.guidance.neighborhood_radius;
   options.neighborhood_cap = options_.guidance.neighborhood_cap;
-  auto suspicious = FindSuspiciousLabels(icrf_, state_, options, &rng_);
+  // Salted so the audit chains never collide with the guidance streams.
+  options.seed = options_.seed ^ 0xd6e8feb86659fd93ULL;
+  auto suspicious = FindSuspiciousLabels(icrf_, state_, options);
   if (!suspicious.ok()) return suspicious.status();
 
   for (const ClaimId claim : suspicious.value()) {

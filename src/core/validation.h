@@ -126,7 +126,6 @@ class ValidationProcess {
   BeliefState state_;
   Grounding grounding_;
   TerminationMonitor monitor_;
-  Rng rng_;
   size_t iteration_ = 0;
   double last_error_rate_ = 0.0;
   size_t validations_since_confirmation_ = 0;

@@ -58,6 +58,24 @@ SpinConfig SampleSet::ModeConfiguration() const {
   return majority;
 }
 
+void GibbsSweepCsr(const ClaimMrf& mrf, const double* fields,
+                   const std::vector<size_t>& sweep_order, SpinConfig* spins,
+                   Rng* rng) {
+  const size_t* offsets = mrf.offsets.data();
+  const ClaimId* neighbors = mrf.neighbors.data();
+  const double* couplings = mrf.couplings.data();
+  SpinConfig& s = *spins;
+  for (const size_t c : sweep_order) {
+    double neighbor_term = 0.0;
+    const size_t end = offsets[c + 1];
+    for (size_t k = offsets[c]; k < end; ++k) {
+      neighbor_term += couplings[k] * (s[neighbors[k]] != 0 ? 1.0 : -1.0);
+    }
+    const double logit = 2.0 * (fields[c] + neighbor_term);
+    s[c] = rng->Bernoulli(Sigmoid(logit)) ? 1 : 0;
+  }
+}
+
 Result<SampleSet> RunGibbs(const ClaimMrf& mrf, const BeliefState& state,
                            const SpinConfig* warm_start,
                            const std::vector<ClaimId>* restrict_claims,
@@ -67,7 +85,7 @@ Result<SampleSet> RunGibbs(const ClaimMrf& mrf, const BeliefState& state,
   if (state.num_claims() != n) {
     return Status::InvalidArgument("RunGibbs: state size mismatch");
   }
-  if (mrf.adjacency.size() != n) {
+  if (!mrf.adjacency_built()) {
     return Status::FailedPrecondition("RunGibbs: adjacency not built");
   }
   if (options.num_samples == 0) {
@@ -109,16 +127,7 @@ Result<SampleSet> RunGibbs(const ClaimMrf& mrf, const BeliefState& state,
     }
   }
 
-  auto sweep = [&]() {
-    for (const size_t c : sweep_order) {
-      double neighbor_term = 0.0;
-      for (const auto& [nbr, j] : mrf.adjacency[c]) {
-        neighbor_term += j * (spins[nbr] != 0 ? 1.0 : -1.0);
-      }
-      const double logit = 2.0 * (fields[c] + neighbor_term);
-      spins[c] = rng->Bernoulli(Sigmoid(logit)) ? 1 : 0;
-    }
-  };
+  auto sweep = [&]() { GibbsSweepCsr(mrf, fields.data(), sweep_order, &spins, rng); };
 
   for (size_t b = 0; b < options.burn_in; ++b) sweep();
 

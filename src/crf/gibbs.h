@@ -64,6 +64,14 @@ Result<SampleSet> RunGibbs(const ClaimMrf& mrf, const BeliefState& state,
                            const GibbsOptions& options, Rng* rng,
                            const FieldOverrides* field_overrides = nullptr);
 
+/// One Gibbs sweep over `sweep_order` against the CSR adjacency of `mrf`,
+/// with `fields` replacing mrf.field (same size). The single update rule
+/// shared by RunGibbs and HypotheticalEngine::RunKernel — change it here
+/// and both full inference and hypothetical re-inference move together.
+void GibbsSweepCsr(const ClaimMrf& mrf, const double* fields,
+                   const std::vector<size_t>& sweep_order, SpinConfig* spins,
+                   Rng* rng);
+
 }  // namespace veritas
 
 #endif  // VERITAS_CRF_GIBBS_H_

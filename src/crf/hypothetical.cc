@@ -1,0 +1,296 @@
+#include "crf/hypothetical.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "crf/partition.h"
+
+namespace veritas {
+
+/// Per-evaluation working set. Every buffer is sized once against the bound
+/// model and reused verbatim afterwards: steady-state evaluations touch no
+/// allocator. `counts` is reset lazily — only the entries of the claims
+/// actually swept are cleared per run.
+struct HypotheticalEngine::Scratch {
+  SpinConfig spins;
+  std::vector<double> fields;
+  std::vector<double> probs;
+  std::vector<uint32_t> counts;
+  std::vector<size_t> sweep_order;
+  /// Stamp-based visited set for scope deduplication: entries matching
+  /// `stamp` were already admitted to sweep_order this run. Stamping makes
+  /// the reset O(1) instead of O(n) per evaluation.
+  std::vector<uint64_t> visit_stamp;
+  uint64_t stamp = 0;
+};
+
+/// Hypothetical single-claim edit applied on top of the caller's belief
+/// state, replacing the per-candidate BeliefState copies the call sites
+/// used to make: kSet labels the claim (Q+/Q-), kClear removes its label
+/// (leave-one-out), kNone passes the state through.
+struct HypotheticalEngine::LabelOverride {
+  enum class Kind { kNone, kSet, kClear };
+  Kind kind = Kind::kNone;
+  ClaimId claim = 0;
+  bool value = false;
+};
+
+HypotheticalEngine::HypotheticalEngine() = default;
+HypotheticalEngine::~HypotheticalEngine() = default;
+
+void HypotheticalEngine::Evaluation::Release() {
+  if (engine_ != nullptr && scratch_ != nullptr) {
+    engine_->ReleaseScratch(scratch_);
+  }
+  engine_ = nullptr;
+  scratch_ = nullptr;
+  probs_ = nullptr;
+}
+
+void HypotheticalEngine::Bind(const ClaimMrf* mrf,
+                              const std::vector<double>* evidence_field,
+                              const GibbsOptions& gibbs,
+                              bool structure_changed) {
+  const size_t n = mrf == nullptr ? 0 : mrf->num_claims();
+  const bool resized = neighborhood_cache_.size() != n;
+  mrf_ = mrf;
+  evidence_field_ = evidence_field;
+  gibbs_ = gibbs;
+  if (structure_changed || resized) {
+    neighborhood_cache_.assign(n, {});
+    ++structure_epoch_;
+  }
+}
+
+const std::vector<ClaimId>& HypotheticalEngine::Neighborhood(
+    ClaimId claim, size_t radius, size_t max_claims) const {
+  static const std::vector<ClaimId> kEmpty;
+  if (!bound() || claim >= neighborhood_cache_.size() || max_claims == 0) {
+    return kEmpty;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_[claim % kCacheStripes]);
+  NeighborhoodEntry& entry = neighborhood_cache_[claim];
+  if (!entry.filled || entry.radius != radius || entry.cap != max_claims) {
+    entry.claims = CouplingNeighborhood(*mrf_, claim, radius, max_claims);
+    entry.radius = radius;
+    entry.cap = max_claims;
+    entry.filled = true;
+  }
+  return entry.claims;
+}
+
+HypotheticalEngine::Scratch* HypotheticalEngine::AcquireScratch() const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (free_scratch_.empty()) {
+    ++scratch_created_;
+    return new Scratch();
+  }
+  Scratch* scratch = free_scratch_.back().release();
+  free_scratch_.pop_back();
+  return scratch;
+}
+
+void HypotheticalEngine::ReleaseScratch(Scratch* scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  free_scratch_.emplace_back(scratch);
+}
+
+size_t HypotheticalEngine::scratch_buffers_created() const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  return scratch_created_;
+}
+
+size_t HypotheticalEngine::cached_neighborhoods() const {
+  size_t filled = 0;
+  for (size_t c = 0; c < neighborhood_cache_.size(); ++c) {
+    std::lock_guard<std::mutex> lock(cache_mu_[c % kCacheStripes]);
+    if (neighborhood_cache_[c].filled) ++filled;
+  }
+  return filled;
+}
+
+Status HypotheticalEngine::RunKernel(const BeliefState& state,
+                                     const std::vector<ClaimId>* scope,
+                                     const LabelOverride& override_label,
+                                     bool neutral_prior, Rng* rng,
+                                     Scratch* scratch) const {
+  using Kind = LabelOverride::Kind;
+  const size_t n = mrf_->num_claims();
+  if (state.num_claims() != n) {
+    return Status::InvalidArgument("HypotheticalEngine: state size mismatch");
+  }
+  if (!mrf_->adjacency_built()) {
+    return Status::FailedPrecondition("HypotheticalEngine: adjacency not built");
+  }
+  if (gibbs_.num_samples == 0) {
+    return Status::InvalidArgument(
+        "HypotheticalEngine: num_samples must be positive");
+  }
+
+  // Effective label view: the caller's state with the single hypothetical
+  // edit applied on top (no BeliefState copy).
+  auto is_labeled = [&](size_t c) {
+    if (override_label.kind == Kind::kSet && c == override_label.claim) {
+      return true;
+    }
+    if (override_label.kind == Kind::kClear && c == override_label.claim) {
+      return false;
+    }
+    return state.IsLabeled(static_cast<ClaimId>(c));
+  };
+  auto label_value = [&](size_t c) {
+    if (override_label.kind == Kind::kSet && c == override_label.claim) {
+      return override_label.value;
+    }
+    return state.label(static_cast<ClaimId>(c)) == ClaimLabel::kCredible;
+  };
+  auto prior_prob = [&](size_t c) {
+    if (override_label.kind == Kind::kClear && c == override_label.claim) {
+      return 0.5;  // the maximum-entropy prior ClearLabel would restore
+    }
+    return state.prob(static_cast<ClaimId>(c));
+  };
+
+  // Spins: labels authoritative, everything else warm-started from the
+  // incumbent probabilities so the restricted chain mixes quickly from the
+  // current MAP-ish configuration.
+  SpinConfig& spins = scratch->spins;
+  spins.resize(n);
+  for (size_t c = 0; c < n; ++c) {
+    spins[c] = is_labeled(c) ? (label_value(c) ? 1 : 0)
+                             : (prior_prob(c) >= 0.5 ? 1 : 0);
+  }
+
+  // Claims to resample each sweep: the scope (all unlabeled when null).
+  // Duplicate scope entries are admitted once — each claim is resampled
+  // once per sweep and counted once per sample, keeping marginals in [0,1]
+  // regardless of what the caller passes.
+  std::vector<size_t>& sweep_order = scratch->sweep_order;
+  sweep_order.clear();
+  if (scope != nullptr) {
+    scratch->visit_stamp.resize(n, 0);
+    const uint64_t stamp = ++scratch->stamp;
+    for (const ClaimId id : *scope) {
+      if (id < n && !is_labeled(id) && scratch->visit_stamp[id] != stamp) {
+        scratch->visit_stamp[id] = stamp;
+        sweep_order.push_back(id);
+      }
+    }
+  } else {
+    for (size_t c = 0; c < n; ++c) {
+      if (!is_labeled(c)) sweep_order.push_back(c);
+    }
+  }
+
+  // Fields: the bound model's, with the carried-over prior replaced by the
+  // bare feature evidence inside the scope for leave-one-out re-inference.
+  std::vector<double>& fields = scratch->fields;
+  fields.assign(mrf_->field.begin(), mrf_->field.end());
+  if (neutral_prior && evidence_field_ != nullptr) {
+    if (scope != nullptr) {
+      for (const ClaimId c : *scope) {
+        if (c < evidence_field_->size()) fields[c] = (*evidence_field_)[c];
+      }
+    } else {
+      const size_t limit = std::min(n, evidence_field_->size());
+      for (size_t c = 0; c < limit; ++c) fields[c] = (*evidence_field_)[c];
+    }
+  }
+
+  std::vector<uint32_t>& counts = scratch->counts;
+  counts.resize(n);
+  for (const size_t c : sweep_order) counts[c] = 0;
+
+  for (size_t b = 0; b < gibbs_.burn_in; ++b) {
+    GibbsSweepCsr(*mrf_, fields.data(), sweep_order, &spins, rng);
+  }
+  const size_t thin = std::max<size_t>(1, gibbs_.thin);
+  for (size_t s = 0; s < gibbs_.num_samples; ++s) {
+    for (size_t t = 0; t < thin; ++t) {
+      GibbsSweepCsr(*mrf_, fields.data(), sweep_order, &spins, rng);
+    }
+    for (const size_t c : sweep_order) counts[c] += spins[c];
+  }
+
+  // Assemble the probability vector: carried-over estimates everywhere,
+  // labels fixed at 0/1, the swept scope at its fresh marginals.
+  std::vector<double>& probs = scratch->probs;
+  probs.assign(state.probs().begin(), state.probs().end());
+  if (override_label.kind == Kind::kClear && override_label.claim < n) {
+    probs[override_label.claim] = 0.5;
+  }
+  for (size_t c = 0; c < n; ++c) {
+    if (is_labeled(c)) probs[c] = label_value(c) ? 1.0 : 0.0;
+  }
+  const double denom = static_cast<double>(gibbs_.num_samples);
+  for (const size_t c : sweep_order) {
+    probs[c] = static_cast<double>(counts[c]) / denom;
+  }
+  return Status::OK();
+}
+
+Result<HypotheticalEngine::Evaluation> HypotheticalEngine::EvaluateCandidate(
+    const BeliefState& state, ClaimId claim, int branch,
+    const HypotheticalOptions& options) const {
+  if (!bound()) {
+    return Status::FailedPrecondition(
+        "HypotheticalEngine::EvaluateCandidate: engine not bound; run "
+        "inference first");
+  }
+  const std::vector<ClaimId>& scope = Neighborhood(
+      claim, options.neighborhood_radius, options.neighborhood_cap);
+  Rng rng = CandidateRng(options.seed, claim, branch + options.rng_stream);
+  const LabelOverride hypothetical{LabelOverride::Kind::kSet, claim,
+                                   branch == 0};
+  Scratch* scratch = AcquireScratch();
+  const Status status = RunKernel(state, &scope, hypothetical,
+                                  options.neutral_prior, &rng, scratch);
+  if (!status.ok()) {
+    ReleaseScratch(scratch);
+    return status;
+  }
+  return Evaluation(this, scratch, &scratch->probs);
+}
+
+Result<HypotheticalEngine::Evaluation> HypotheticalEngine::EvaluateHoldout(
+    const BeliefState& state, ClaimId claim, int repetition,
+    const HypotheticalOptions& options) const {
+  if (!bound()) {
+    return Status::FailedPrecondition(
+        "HypotheticalEngine::EvaluateHoldout: engine not bound; run "
+        "inference first");
+  }
+  const std::vector<ClaimId>& scope = Neighborhood(
+      claim, options.neighborhood_radius, options.neighborhood_cap);
+  Rng rng = CandidateRng(options.seed, claim, repetition + options.rng_stream);
+  const LabelOverride holdout{LabelOverride::Kind::kClear, claim, false};
+  Scratch* scratch = AcquireScratch();
+  const Status status =
+      RunKernel(state, &scope, holdout, options.neutral_prior, &rng, scratch);
+  if (!status.ok()) {
+    ReleaseScratch(scratch);
+    return status;
+  }
+  return Evaluation(this, scratch, &scratch->probs);
+}
+
+Result<HypotheticalEngine::Evaluation> HypotheticalEngine::ResampleScoped(
+    const BeliefState& state, const std::vector<ClaimId>* scope, Rng* rng,
+    bool neutral_prior) const {
+  if (!bound()) {
+    return Status::FailedPrecondition(
+        "HypotheticalEngine::ResampleScoped: engine not bound; run inference "
+        "first");
+  }
+  const LabelOverride none{};
+  Scratch* scratch = AcquireScratch();
+  const Status status =
+      RunKernel(state, scope, none, neutral_prior, rng, scratch);
+  if (!status.ok()) {
+    ReleaseScratch(scratch);
+    return status;
+  }
+  return Evaluation(this, scratch, &scratch->probs);
+}
+
+}  // namespace veritas

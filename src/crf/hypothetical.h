@@ -1,0 +1,211 @@
+/// \file
+/// HypotheticalEngine: the one shared kernel behind the paper's
+/// "scalable + partition + parallel" guidance story (§5.1, Fig. 2) —
+/// hypothetically label a claim, re-sample its coupling neighborhood with
+/// frozen weights, and hand the resulting probability vector to whichever
+/// metric asked (claim info gain, source info gain, batch utility, the
+/// leave-one-out confirmation check, cross-validated precision). Before
+/// this engine existed each of those five call sites rebuilt neighborhoods
+/// and allocated fresh sample buffers per evaluation; the engine owns both
+/// optimizations once (DESIGN.md §8):
+///
+///   * per-claim coupling neighborhoods are cached between EM iterations
+///     and invalidated only when the edge structure changes — the
+///     view-maintenance principle of DESIGN.md §1 applied to guidance;
+///   * the re-sampling kernel runs on pooled scratch buffers (spins,
+///     fields, sample counts, marginals), so steady-state candidate
+///     evaluation performs zero heap allocation even under the thread-pool
+///     fan-out of the kParallelPartition variant.
+
+#ifndef VERITAS_CRF_HYPOTHETICAL_H_
+#define VERITAS_CRF_HYPOTHETICAL_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crf/gibbs.h"
+#include "crf/mrf.h"
+#include "data/model.h"
+
+namespace veritas {
+
+/// Knobs of one hypothetical evaluation, shared by every call site.
+struct HypotheticalOptions {
+  /// Coupling-graph neighborhood of the re-inference (partition
+  /// optimization, §5.1).
+  size_t neighborhood_radius = 2;
+  size_t neighborhood_cap = 128;
+  /// Base seed of the per-candidate random streams (CandidateRng).
+  uint64_t seed = 17;
+  /// Offset added to the branch/repetition index when deriving the
+  /// candidate rng; metrics that must not share random streams use distinct
+  /// offsets (IG_C uses 0, IG_S uses 2).
+  int rng_stream = 0;
+  /// Drop the carried-over probability prior inside the re-sampled scope
+  /// and use the feature evidence alone — required by leave-one-out checks
+  /// (§5.2, §6.1), where the prior of the label under scrutiny would anchor
+  /// the chain to that very label.
+  bool neutral_prior = false;
+};
+
+/// Shared hypothetical re-inference engine. One instance is owned by ICrf
+/// and re-bound after every Infer(); all guidance/confirmation/termination
+/// evaluations route through it.
+///
+/// Thread-safety: Neighborhood(), EvaluateCandidate(), EvaluateHoldout()
+/// and ResampleScoped() may be called concurrently (the kParallelPartition
+/// fan-out). Bind() must not race with them —
+/// in the pipeline they run between phases, from the inference stage.
+/// Concurrent Neighborhood() callers must agree on (radius, cap), which the
+/// pipeline guarantees by deriving both from one GuidanceConfig.
+class HypotheticalEngine {
+ public:
+  HypotheticalEngine();  // out-of-line: members hold the opaque Scratch
+  ~HypotheticalEngine();
+
+  HypotheticalEngine(const HypotheticalEngine&) = delete;
+  HypotheticalEngine& operator=(const HypotheticalEngine&) = delete;
+
+  /// (Re)binds the engine to a model snapshot. `mrf` and `evidence_field`
+  /// must outlive the binding (ICrf passes its cached members). Fields may
+  /// change freely between binds — neighborhoods depend only on the edge
+  /// structure — but `structure_changed` must be true whenever the bound
+  /// edge set differs from the previous one; the cache is then dropped.
+  /// A claim-count change always invalidates, regardless of the flag.
+  void Bind(const ClaimMrf* mrf, const std::vector<double>* evidence_field,
+            const GibbsOptions& gibbs, bool structure_changed);
+
+  /// True once Bind() has attached a model.
+  bool bound() const { return mrf_ != nullptr; }
+
+  /// Monotone counter bumped by each structural invalidation; lets tests
+  /// and diagnostics observe the cache-invalidation contract.
+  uint64_t structure_epoch() const { return structure_epoch_; }
+
+  /// Cached bounded-BFS coupling neighborhood of `claim` (radius hops,
+  /// capped at `max_claims`, the center always included). Each claim
+  /// caches one (radius, max_claims) entry: the returned reference stays
+  /// valid — and its contents stable — until the next structural
+  /// invalidation *or* a lookup of the same claim with different knobs,
+  /// which recomputes the entry in place. In the pipeline every stage
+  /// derives (radius, cap) from one GuidanceConfig, so entries are stable
+  /// in practice; callers mixing knob values must not hold references
+  /// across lookups. Returns an empty vector when unbound, out of range,
+  /// or max_claims == 0.
+  const std::vector<ClaimId>& Neighborhood(ClaimId claim, size_t radius,
+                                           size_t max_claims) const;
+
+ private:
+  struct Scratch;  // pooled per-evaluation buffers (defined in the .cc)
+
+ public:
+  /// Lease on one pooled evaluation result. probs() is the full probability
+  /// vector: labels fixed at 0/1, the re-sampled scope at its fresh
+  /// marginals, untouched claims at their carried-over estimate. The
+  /// buffers return to the pool when the Evaluation is destroyed; it must
+  /// not outlive the engine.
+  class Evaluation {
+   public:
+    Evaluation() = default;
+    Evaluation(Evaluation&& other) noexcept { Swap(&other); }
+    Evaluation& operator=(Evaluation&& other) noexcept {
+      if (this != &other) {
+        Release();
+        Swap(&other);
+      }
+      return *this;
+    }
+    Evaluation(const Evaluation&) = delete;
+    Evaluation& operator=(const Evaluation&) = delete;
+    ~Evaluation() { Release(); }
+
+    const std::vector<double>& probs() const { return *probs_; }
+
+   private:
+    friend class HypotheticalEngine;
+    Evaluation(const HypotheticalEngine* engine, Scratch* scratch,
+               const std::vector<double>* probs)
+        : engine_(engine), scratch_(scratch), probs_(probs) {}
+    void Release();
+    void Swap(Evaluation* other) {
+      std::swap(engine_, other->engine_);
+      std::swap(scratch_, other->scratch_);
+      std::swap(probs_, other->probs_);
+    }
+
+    const HypotheticalEngine* engine_ = nullptr;
+    Scratch* scratch_ = nullptr;
+    const std::vector<double>* probs_ = nullptr;
+  };
+
+  /// Hypothetically validates `claim` (branch 0 = credible, 1 = not) and
+  /// re-samples its cached coupling neighborhood with frozen weights — the
+  /// Q+/Q- primitive of Eq. 14/20. The random stream is derived internally
+  /// via CandidateRng(options.seed, claim, branch + options.rng_stream), so
+  /// scores are independent of evaluation order and thread scheduling.
+  Result<Evaluation> EvaluateCandidate(const BeliefState& state, ClaimId claim,
+                                       int branch,
+                                       const HypotheticalOptions& options) const;
+
+  /// Leave-one-out re-inference of a *labeled* claim (§5.2, §6.1): the
+  /// claim's label is hypothetically removed (probability reset to 0.5)
+  /// without copying the belief state, and its neighborhood re-sampled.
+  /// `repetition` indexes independent chains (confirmation averages a few);
+  /// the stream is CandidateRng(seed, claim, repetition + rng_stream).
+  Result<Evaluation> EvaluateHoldout(const BeliefState& state, ClaimId claim,
+                                     int repetition,
+                                     const HypotheticalOptions& options) const;
+
+  /// General scoped re-sampling under the labels of `state` (all unlabeled
+  /// claims when `scope` is null) with a caller-supplied generator — the
+  /// k-fold cross-validation path, whose scope is a union of neighborhoods
+  /// rather than a single cached one. Duplicate scope entries are
+  /// re-sampled once; labeled and out-of-range entries are ignored.
+  Result<Evaluation> ResampleScoped(const BeliefState& state,
+                                    const std::vector<ClaimId>* scope, Rng* rng,
+                                    bool neutral_prior) const;
+
+  /// Observability (tests, benches): scratch buffers ever created — equals
+  /// the peak number of concurrent evaluations, not the call count — and
+  /// currently cached neighborhoods. Both require external quiescence.
+  size_t scratch_buffers_created() const;
+  size_t cached_neighborhoods() const;
+
+ private:
+  struct LabelOverride;
+
+  Scratch* AcquireScratch() const;
+  void ReleaseScratch(Scratch* scratch) const;
+  Status RunKernel(const BeliefState& state, const std::vector<ClaimId>* scope,
+                   const LabelOverride& override_label, bool neutral_prior,
+                   Rng* rng, Scratch* scratch) const;
+
+  const ClaimMrf* mrf_ = nullptr;
+  const std::vector<double>* evidence_field_ = nullptr;
+  GibbsOptions gibbs_;
+  uint64_t structure_epoch_ = 0;
+
+  struct NeighborhoodEntry {
+    size_t radius = 0;
+    size_t cap = 0;
+    bool filled = false;
+    std::vector<ClaimId> claims;
+  };
+  mutable std::vector<NeighborhoodEntry> neighborhood_cache_;
+  /// Striped locks over the cache: claim c is guarded by stripe c % kStripes.
+  static constexpr size_t kCacheStripes = 64;
+  mutable std::array<std::mutex, kCacheStripes> cache_mu_;
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Scratch>> free_scratch_;
+  mutable size_t scratch_created_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CRF_HYPOTHETICAL_H_

@@ -10,10 +10,23 @@
 namespace veritas {
 
 void ClaimMrf::RebuildAdjacency() {
-  adjacency.assign(field.size(), {});
+  const size_t n = field.size();
+  offsets.assign(n + 1, 0);
   for (const Edge& edge : edges) {
-    adjacency[edge.a].emplace_back(edge.b, edge.j);
-    adjacency[edge.b].emplace_back(edge.a, edge.j);
+    ++offsets[edge.a + 1];
+    ++offsets[edge.b + 1];
+  }
+  for (size_t c = 0; c < n; ++c) offsets[c + 1] += offsets[c];
+  neighbors.resize(edges.size() * 2);
+  couplings.resize(edges.size() * 2);
+  // Counting sort keyed on the endpoint: per-claim neighbor order equals the
+  // edge-list order, matching the former nested-vector layout bit for bit.
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& edge : edges) {
+    neighbors[cursor[edge.a]] = edge.b;
+    couplings[cursor[edge.a]++] = edge.j;
+    neighbors[cursor[edge.b]] = edge.a;
+    couplings[cursor[edge.b]++] = edge.j;
   }
 }
 

@@ -1,3 +1,10 @@
+/// \file
+/// Pairwise binary MRF reduction of the CRF (§3.1) with its flat-CSR
+/// adjacency: `offsets`/`neighbors`/`couplings` arrays instead of nested
+/// per-claim vectors, so the Gibbs sweep and the neighborhood BFS walk one
+/// contiguous coupling array per claim (cache locality of the guidance hot
+/// path, DESIGN.md §8).
+
 #ifndef VERITAS_CRF_MRF_H_
 #define VERITAS_CRF_MRF_H_
 
@@ -37,12 +44,25 @@ struct ClaimMrf {
   };
   std::vector<Edge> edges;
 
-  /// Per-claim adjacency: (neighbor, coupling), mirroring `edges`.
-  std::vector<std::vector<std::pair<ClaimId, double>>> adjacency;
+  /// Flat CSR adjacency mirroring `edges` in both directions: the neighbors
+  /// of claim c are `neighbors[offsets[c] .. offsets[c + 1])` with matching
+  /// coupling strengths in `couplings`. Per-claim neighbor order follows the
+  /// order of `edges`, exactly as the former nested-vector layout did, so
+  /// floating-point accumulation over a claim's neighbors is unchanged.
+  std::vector<size_t> offsets;      ///< size num_claims() + 1 once built
+  std::vector<ClaimId> neighbors;   ///< size 2 * edges.size()
+  std::vector<double> couplings;    ///< coupling of the matching neighbor
 
   size_t num_claims() const { return field.size(); }
 
-  /// Rebuilds `adjacency` from `edges` (call after editing edges directly).
+  /// True once RebuildAdjacency() has been run against the current fields.
+  bool adjacency_built() const { return offsets.size() == field.size() + 1; }
+
+  /// Number of coupling partners of claim c (requires adjacency_built()).
+  size_t degree(ClaimId c) const { return offsets[c + 1] - offsets[c]; }
+
+  /// Rebuilds the CSR arrays from `edges` (call after editing edges
+  /// directly). Cost: two passes over the edge list.
   void RebuildAdjacency();
 };
 

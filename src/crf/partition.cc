@@ -30,7 +30,9 @@ ClaimPartition PartitionClaims(const FactDatabase& db) {
 std::vector<ClaimId> CouplingNeighborhood(const ClaimMrf& mrf, ClaimId center,
                                           size_t radius, size_t max_claims) {
   std::vector<ClaimId> result;
-  if (center >= mrf.num_claims() || max_claims == 0) return result;
+  if (center >= mrf.num_claims() || max_claims == 0 || !mrf.adjacency_built()) {
+    return result;
+  }
   std::vector<uint8_t> seen(mrf.num_claims(), 0);
   std::vector<std::pair<ClaimId, size_t>> queue{{center, 0}};
   seen[center] = 1;
@@ -39,8 +41,8 @@ std::vector<ClaimId> CouplingNeighborhood(const ClaimMrf& mrf, ClaimId center,
     result.push_back(node);
     if (result.size() >= max_claims) break;
     if (depth >= radius) continue;
-    for (const auto& [nbr, j] : mrf.adjacency[node]) {
-      (void)j;
+    for (size_t k = mrf.offsets[node]; k < mrf.offsets[node + 1]; ++k) {
+      const ClaimId nbr = mrf.neighbors[k];
       if (seen[nbr]) continue;
       seen[nbr] = 1;
       queue.emplace_back(nbr, depth + 1);

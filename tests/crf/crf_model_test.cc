@@ -129,7 +129,8 @@ TEST(BuildClaimMrfTest, FieldsCombineEvidenceAndPrior) {
   EXPECT_NEAR(mrf.field[0], 0.5, 1e-9);
   // Claim 1: evidence 2.0, prior logit log(9) weighted by 0.5 -> field > 1.
   EXPECT_GT(mrf.field[1], 1.0);
-  EXPECT_EQ(mrf.adjacency.size(), 3u);
+  EXPECT_TRUE(mrf.adjacency_built());
+  EXPECT_EQ(mrf.offsets.size(), 4u);
 }
 
 TEST(FitCrfWeightsTest, LearnsDiscriminativeWeightsFromLabels) {

@@ -24,10 +24,25 @@ ClaimMrf ChainMrf(const std::vector<double>& fields,
 
 TEST(MrfTest, RebuildAdjacencyMirrorsEdges) {
   const ClaimMrf mrf = ChainMrf({0.0, 0.0, 0.0}, {0.5, -0.2});
-  ASSERT_EQ(mrf.adjacency.size(), 3u);
-  EXPECT_EQ(mrf.adjacency[0].size(), 1u);
-  EXPECT_EQ(mrf.adjacency[1].size(), 2u);
-  EXPECT_DOUBLE_EQ(mrf.adjacency[1][0].second, 0.5);
+  ASSERT_TRUE(mrf.adjacency_built());
+  ASSERT_EQ(mrf.offsets.size(), 4u);
+  EXPECT_EQ(mrf.degree(0), 1u);
+  EXPECT_EQ(mrf.degree(1), 2u);
+  EXPECT_EQ(mrf.degree(2), 1u);
+  // Claim 1's neighbors appear in edge-list order: (0, 0.5), (2, -0.2).
+  EXPECT_EQ(mrf.neighbors[mrf.offsets[1]], 0u);
+  EXPECT_DOUBLE_EQ(mrf.couplings[mrf.offsets[1]], 0.5);
+  EXPECT_EQ(mrf.neighbors[mrf.offsets[1] + 1], 2u);
+  EXPECT_DOUBLE_EQ(mrf.couplings[mrf.offsets[1] + 1], -0.2);
+}
+
+TEST(MrfTest, AdjacencyNotBuiltUntilRebuild) {
+  ClaimMrf mrf;
+  mrf.field = {0.0, 0.0};
+  EXPECT_FALSE(mrf.adjacency_built());
+  mrf.RebuildAdjacency();
+  EXPECT_TRUE(mrf.adjacency_built());
+  EXPECT_EQ(mrf.degree(0), 0u);
 }
 
 TEST(MrfTest, LogMeasureMatchesHandComputation) {
