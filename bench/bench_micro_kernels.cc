@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "graph/generator.h"
 #include "optim/logistic.h"
 #include "optim/tron.h"
+#include "service/checkpoint.h"
 
 namespace veritas {
 namespace {
@@ -273,6 +275,52 @@ void BM_LogisticGradient(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_LogisticGradient)->Arg(1000)->Arg(10000);
+
+// Session checkpointing (service/checkpoint.h): full save + load round trip
+// of a warm batch session, the unit of work behind both explicit
+// Checkpoint() calls and the SessionManager's LRU spill. `bytes_per_ckpt`
+// reports the on-disk size (session.bin + db TSVs).
+void BM_CheckpointSaveRestore(benchmark::State& state) {
+  const EmulatedCorpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  SessionSpec spec;
+  spec.mode = SessionMode::kBatch;
+  spec.validation.icrf.gibbs = GibbsOptions{5, 12, 1};
+  spec.validation.icrf.max_em_iterations = 2;
+  spec.validation.guidance.variant = GuidanceVariant::kScalable;
+  spec.validation.guidance.candidate_pool = 8;
+  spec.validation.budget = 2;
+  spec.user.kind = UserSpec::Kind::kOracle;
+  auto session = Session::Create(corpus.db, spec);
+  if (!session.ok()) std::abort();
+  // Warm the session so the checkpoint carries a real posterior + trace.
+  for (int i = 0; i < 2; ++i) {
+    if (!session.value()->Advance().ok()) std::abort();
+  }
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("veritas_bench_ckpt_" + std::to_string(state.range(0)));
+
+  size_t bytes = 0;
+  for (auto _ : state) {
+    if (!SaveSessionCheckpoint(*session.value(), dir).ok()) std::abort();
+    auto restored = LoadSessionCheckpoint(dir);
+    if (!restored.ok()) std::abort();
+    benchmark::DoNotOptimize(restored);
+    if (bytes == 0) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file()) bytes += entry.file_size();
+      }
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  state.counters["bytes_per_ckpt"] =
+      benchmark::Counter(static_cast<double>(bytes));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointSaveRestore)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace veritas

@@ -1,0 +1,267 @@
+// Throughput of the multi-session guidance service (DESIGN.md §9): an
+// open-loop workload of Poisson request arrivals over a mixed population of
+// batch and streaming sessions on the emulated wiki corpus, executed by the
+// RequestQueue worker pool at 1/2/4/8 workers.
+//
+// Each batch step blocks on the emulated validator's round trip (think
+// time) — the regime the paper's interactive setting implies and the reason
+// a serving layer multiplexes M >> K sessions over K workers: while one
+// session waits for its human, the workers serve other sessions. The think
+// time is auto-calibrated to 4x the measured per-step compute so the
+// scaling headroom is the same on any host (override with --latency=<ms>);
+// compute itself also parallelizes on multi-core hosts.
+//
+// Reported per worker count: completed steps/s, completed sessions/s, p50
+// and p99 request latency (queue wait + service), and admission-control
+// sheds. The shape check pins >= 3x step throughput at 4 workers vs 1.
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "service/request_queue.h"
+
+namespace veritas {
+namespace bench {
+namespace {
+
+struct WorkloadSpec {
+  size_t batch_sessions = 8;
+  size_t streaming_sessions = 8;
+  size_t steps_per_batch_session = 4;
+  double latency_ms = -1.0;  ///< <0: auto-calibrate to 4x step compute
+  double offered_load = 1.2; ///< Poisson rate as a multiple of ideal capacity
+};
+
+SessionSpec ServiceBatchSpec(uint64_t seed, size_t budget, double latency_ms) {
+  SessionSpec spec;
+  spec.mode = SessionMode::kBatch;
+  spec.validation = BenchValidationOptions(StrategyKind::kHybrid, seed);
+  // Serial guidance: the service parallelizes across sessions, not inside a
+  // step, so workers never oversubscribe each other.
+  spec.validation.guidance.variant = GuidanceVariant::kScalable;
+  spec.validation.guidance.candidate_pool = 16;
+  spec.validation.budget = budget;
+  spec.user.kind = UserSpec::Kind::kOracle;
+  spec.user.latency_ms = latency_ms;
+  return spec;
+}
+
+SessionSpec ServiceStreamingSpec(uint64_t seed, double latency_ms) {
+  SessionSpec spec;
+  spec.mode = SessionMode::kStreaming;
+  spec.streaming.icrf.gibbs = GibbsOptions{5, 12, 1};
+  spec.streaming.icrf.max_em_iterations = 2;
+  spec.streaming.tron_iterations_per_arrival = 3;
+  spec.streaming.seed = seed;
+  spec.streaming_label_interval = 4;
+  spec.user.kind = UserSpec::Kind::kOracle;
+  spec.user.latency_ms = latency_ms;
+  return spec;
+}
+
+/// Mean wall-clock of one batch guidance step with a zero-latency user.
+double CalibrateStepSeconds(const EmulatedCorpus& corpus, uint64_t seed) {
+  SessionManager manager;
+  auto id = manager.Create(corpus.db, ServiceBatchSpec(seed, 3, 0.0));
+  if (!id.ok()) std::abort();
+  Stopwatch watch;
+  size_t steps = 0;
+  for (; steps < 3; ++steps) {
+    auto step = manager.Advance(id.value());
+    if (!step.ok() || step.value().done) break;
+  }
+  return steps == 0 ? 0.01 : watch.ElapsedSeconds() / static_cast<double>(steps);
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double steps_per_second = 0.0;
+  double sessions_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t sheds = 0;
+};
+
+double Percentile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t index = std::min(
+      values->size() - 1, static_cast<size_t>(q * (values->size() - 1) + 0.5));
+  return (*values)[index];
+}
+
+RunResult RunWorkload(const EmulatedCorpus& corpus, const WorkloadSpec& work,
+                      size_t workers, double step_seconds, double latency_ms,
+                      uint64_t seed) {
+  SessionManager manager;
+  std::vector<SessionId> sessions;
+  std::vector<size_t> requests_per_session;
+  for (size_t s = 0; s < work.batch_sessions; ++s) {
+    auto id = manager.Create(
+        corpus.db, ServiceBatchSpec(seed + s, work.steps_per_batch_session,
+                                    latency_ms));
+    if (!id.ok()) std::abort();
+    sessions.push_back(id.value());
+    requests_per_session.push_back(work.steps_per_batch_session);
+  }
+  for (size_t s = 0; s < work.streaming_sessions; ++s) {
+    auto id =
+        manager.Create(corpus.db, ServiceStreamingSpec(seed + 100 + s, latency_ms));
+    if (!id.ok()) std::abort();
+    sessions.push_back(id.value());
+    // Arrivals drain the whole corpus; one extra request hits the
+    // stream-drained sync.
+    requests_per_session.push_back(corpus.db.num_claims() + 1);
+  }
+
+  // Round-robin request order across sessions = the per-session FIFO the
+  // scheduler must honor; Poisson inter-arrival gaps make the offered load
+  // open-loop.
+  std::vector<SessionId> order;
+  {
+    size_t remaining = 0;
+    for (const size_t n : requests_per_session) remaining += n;
+    std::vector<size_t> left = requests_per_session;
+    while (remaining > 0) {
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        if (left[s] == 0) continue;
+        order.push_back(sessions[s]);
+        --left[s];
+        --remaining;
+      }
+    }
+  }
+
+  // Ideal capacity: workers bounded by think+compute per step, the machine
+  // bounded by compute alone.
+  const double step_total = step_seconds + latency_ms / 1000.0;
+  const double capacity = static_cast<double>(workers) / step_total;
+  const double rate = work.offered_load * capacity;
+
+  RequestQueueOptions queue_options;
+  queue_options.num_workers = workers;
+  queue_options.max_queue_depth = 4 * order.size();
+  RequestQueue queue(&manager, queue_options);
+
+  Rng arrival_rng(seed ^ 0x5eed5eedULL);
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(order.size());
+  size_t sheds = 0;
+  Stopwatch wall;
+  for (const SessionId id : order) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(arrival_rng.Exponential(rate)));
+    ServiceRequest request;
+    request.kind = RequestKind::kAdvance;
+    request.session = id;
+    for (;;) {
+      auto submitted = queue.Submit(request);
+      if (submitted.ok()) {
+        futures.push_back(std::move(submitted).value());
+        break;
+      }
+      ++sheds;  // admission control: back off and retry
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  queue.Drain();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(futures.size());
+  size_t completed_steps = 0;
+  for (auto& future : futures) {
+    const ServiceResponse response = future.get();
+    if (!response.status.ok()) {
+      std::cerr << "request failed: " << response.status << "\n";
+      std::exit(1);
+    }
+    if (response.step.iteration_completed || response.step.arrival_processed ||
+        response.step.done) {
+      ++completed_steps;
+    }
+    latencies_ms.push_back(
+        (response.wait_seconds + response.service_seconds) * 1e3);
+  }
+
+  RunResult result;
+  result.wall_seconds = wall_seconds;
+  result.steps_per_second =
+      static_cast<double>(completed_steps) / wall_seconds;
+  result.sessions_per_second =
+      static_cast<double>(sessions.size()) / wall_seconds;
+  result.p50_ms = Percentile(&latencies_ms, 0.50);
+  result.p99_ms = Percentile(&latencies_ms, 0.99);
+  result.sheds = sheds;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  WorkloadSpec work;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--latency=", 0) == 0) work.latency_ms = std::stod(arg.substr(10));
+    if (arg.rfind("--steps=", 0) == 0) {
+      work.steps_per_batch_session = static_cast<size_t>(std::stoul(arg.substr(8)));
+    }
+  }
+
+  // A small corpus per session: the service regime is many light sessions,
+  // not one heavy batch job.
+  CorpusSpec spec = Scaled(WikipediaSpec(), 0.2 * args.scale);
+  Rng corpus_rng(args.seed ^ 0xf005ba11ULL);
+  auto corpus = GenerateCorpus(spec, &corpus_rng);
+  if (!corpus.ok()) {
+    std::cerr << "corpus generation failed: " << corpus.status() << "\n";
+    return 1;
+  }
+
+  const double step_seconds = CalibrateStepSeconds(corpus.value(), args.seed);
+  const double latency_ms = work.latency_ms >= 0.0
+                                ? work.latency_ms
+                                : std::max(10.0, 4.0 * step_seconds * 1e3);
+
+  std::cout << "Service throughput - open-loop Poisson workload, "
+            << work.batch_sessions << " batch + " << work.streaming_sessions
+            << " streaming sessions ("
+            << corpus.value().db.num_claims() << " claims each)\n";
+  std::cout << "calibrated step compute: " << step_seconds * 1e3
+            << " ms; validator think time: " << latency_ms << " ms\n";
+
+  TextTable table;
+  table.SetHeader({"workers", "steps/s", "sessions/s", "p50_ms", "p99_ms",
+                   "sheds"});
+  const size_t worker_counts[] = {1, 2, 4, 8};
+  double throughput_1 = 0.0;
+  double throughput_4 = 0.0;
+  for (const size_t workers : worker_counts) {
+    const RunResult result = RunWorkload(corpus.value(), work, workers,
+                                         step_seconds, latency_ms, args.seed);
+    if (workers == 1) throughput_1 = result.steps_per_second;
+    if (workers == 4) throughput_4 = result.steps_per_second;
+    table.AddNumericRow(std::to_string(workers),
+                        {result.steps_per_second, result.sessions_per_second,
+                         result.p50_ms, result.p99_ms,
+                         static_cast<double>(result.sheds)},
+                        2);
+  }
+  table.Print(std::cout);
+
+  const double ratio = throughput_1 > 0.0 ? throughput_4 / throughput_1 : 0.0;
+  std::cout << "# scaling 4w/1w = " << ratio << "x\n";
+  PrintShapeCheck(ratio >= 3.0,
+                  "4 workers deliver >= 3x the step throughput of 1 worker "
+                  "(K workers multiplex M >> K think-time-bound sessions)");
+  return ratio >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::bench::Main(argc, argv); }

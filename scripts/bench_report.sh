@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Guidance-latency perf report: runs bench_fig02_response_time (default
-# scale — the paper's per-iteration response time, Fig. 2) plus the
+# scale — the paper's per-iteration response time, Fig. 2), the
+# multi-session service throughput bench (bench_service_throughput: open-
+# loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9) plus the
 # HypotheticalEngine micro-kernels from bench_micro_kernels (when Google
 # Benchmark is available), and emits BENCH_guidance.json next to the repo
 # root. The committed scripts/bench_baseline_fig02.json (pre-refactor
@@ -35,13 +37,33 @@ fig02_rows="$(awk '
   }
 ' "$fig02_txt")"
 
+# Service throughput (sessions/s + step-latency percentiles per worker
+# count, and the 4-worker/1-worker scaling ratio the acceptance gate pins).
+cmake --build "$build_dir" -j "$(nproc)" --target bench_service_throughput \
+  > /dev/null
+
+service_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt" "$service_txt"' EXIT
+"$build_dir"/bench/bench_service_throughput | tee "$service_txt"
+
+service_rows="$(awk '
+  /^-+$/ { in_table = 1; next }
+  /^#/   { in_table = 0 }
+  in_table && NF >= 6 {
+    if (count++) printf ",\n";
+    printf "    {\"workers\": %s, \"steps_per_s\": %s, \"sessions_per_s\": %s, \"p50_ms\": %s, \"p99_ms\": %s, \"sheds\": %s}", $1, $2, $3, $4, $5, $6
+  }
+' "$service_txt")"
+service_scaling="$(awk '/^# scaling 4w\/1w = / { gsub(/x$/, "", $5); print $5 }' "$service_txt")"
+service_scaling="${service_scaling:-null}"
+
 # Micro-kernels (optional: needs Google Benchmark at configure time).
 micro_json="null"
 if cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_kernels \
     > /dev/null 2>&1 && [[ -x "$build_dir"/bench/bench_micro_kernels ]]; then
   micro_file="$(mktemp)"
   "$build_dir"/bench/bench_micro_kernels \
-    --benchmark_filter='GibbsSweep|Neighborhood|EvaluateCandidate' \
+    --benchmark_filter='GibbsSweep|Neighborhood|EvaluateCandidate|Checkpoint' \
     --benchmark_format=json --benchmark_min_time=0.05 \
     > "$micro_file" 2>/dev/null || true
   if [[ -s "$micro_file" ]]; then
@@ -62,6 +84,13 @@ fi
   echo "    \"unit\": \"seconds/iteration\","
   echo "    \"rows\": ["
   printf '%s\n' "$fig02_rows"
+  echo "    ]"
+  echo "  },"
+  echo "  \"service_throughput\": {"
+  echo "    \"workload\": \"open-loop Poisson, mixed batch+streaming sessions (bench_service_throughput)\","
+  echo "    \"scaling_4w_over_1w\": $service_scaling,"
+  echo "    \"rows\": ["
+  printf '%s\n' "$service_rows"
   echo "    ]"
   echo "  },"
   echo "  \"pre_refactor_baseline\": $baseline_json,"

@@ -5,15 +5,39 @@
 #
 # Usage: scripts/check.sh [build-dir]          (default: build)
 #        ASAN=1 scripts/check.sh [build-dir]   (default: build-asan)
+#        TSAN=1 scripts/check.sh [build-dir]   (default: build-tsan)
 #
 # ASAN=1 builds with Address + UndefinedBehavior sanitizers and runs the
 # crf/ and core/ suites — the ones exercising the HypotheticalEngine
 # scratch-buffer pooling and the CSR adjacency — so buffer reuse stays
 # leak- and UB-clean.
+#
+# TSAN=1 builds with ThreadSanitizer and runs the service/ and crf/ suites —
+# the ones exercising the SessionManager's per-session locking, the
+# RequestQueue worker pool and the HypotheticalEngine's striped caches — so
+# the concurrent serving path stays race-clean.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  build_dir="${1:-build-tsan}"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVERITAS_BUILD_BENCH=OFF \
+    -DVERITAS_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$build_dir" -j "$(nproc)"
+  status=0
+  for suite in "$build_dir"/tests/service_*_test "$build_dir"/tests/crf_*_test \
+               "$build_dir"/tests/common_thread_pool_test; do
+    echo "== ${suite##*/}"
+    TSAN_OPTIONS=halt_on_error=1 "$suite" --gtest_brief=1 || status=1
+  done
+  exit "$status"
+fi
 
 if [[ "${ASAN:-0}" == "1" ]]; then
   build_dir="${1:-build-asan}"

@@ -157,6 +157,20 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
 
+RngState Rng::SaveState() const {
+  RngState out;
+  for (size_t i = 0; i < 4; ++i) out.s[i] = state_[i];
+  out.has_cached_normal = has_cached_normal_;
+  out.cached_normal = cached_normal_;
+  return out;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng CandidateRng(uint64_t seed, uint64_t candidate, int branch) {
   return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (candidate + 1)) ^
              (0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(branch + 1)));

@@ -8,6 +8,15 @@
 
 namespace veritas {
 
+/// Snapshot of the full generator state: the four xoshiro256** words plus
+/// the Box-Muller cache. Restoring it resumes the stream bit-for-bit, which
+/// is what makes session checkpoints (src/service/checkpoint.h) exact.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic, seedable pseudo-random generator (xoshiro256**) with the
 /// distribution helpers the framework needs. All stochastic components of the
 /// library draw from an explicitly passed Rng so that every experiment is
@@ -69,6 +78,12 @@ class Rng {
 
   /// Forks an independent generator whose stream is decorrelated from this one.
   Rng Fork();
+
+  /// Captures the complete generator state for checkpointing.
+  RngState SaveState() const;
+  /// Restores a state captured by SaveState(); the stream continues exactly
+  /// where the saved generator left off.
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -18,6 +18,7 @@ enum class StatusCode {
   kOutOfRange = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kUnavailable = 7,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -51,6 +52,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload (admission control, queue full): retrying later may
+  /// succeed, unlike the other error categories.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

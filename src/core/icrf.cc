@@ -114,6 +114,27 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
   return stats;
 }
 
+Status ICrf::RestoreEngine(const BeliefState& state) {
+  if (state.num_claims() != db_->num_claims()) {
+    return Status::InvalidArgument("ICrf::RestoreEngine: state size mismatch");
+  }
+  VERITAS_RETURN_IF_ERROR(SyncStructures());
+  // Post-Infer() invariant: labeled probabilities are 0/1 and unlabeled ones
+  // equal the final marginals, so state.probs() IS the prev_probs vector the
+  // last BuildClaimMrf of Infer() consumed.
+  mrf_ = BuildClaimMrf(*db_, model_, state.probs(), options_.crf, couplings_);
+  const std::vector<double> evidence = model_.EvidenceLogOdds(*db_);
+  evidence_field_.resize(evidence.size());
+  for (size_t c = 0; c < evidence.size(); ++c) {
+    evidence_field_[c] = 0.5 * evidence[c];
+  }
+  hypothetical_.Bind(&mrf_, &evidence_field_, options_.hypothetical_gibbs,
+                     /*structure_changed=*/true);
+  structure_dirty_ = false;
+  ready_ = true;
+  return Status::OK();
+}
+
 Result<std::vector<double>> ICrf::ResampleProbs(const BeliefState& state,
                                                 const std::vector<ClaimId>* restrict,
                                                 Rng* rng,

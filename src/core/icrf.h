@@ -71,6 +71,19 @@ class ICrf {
   /// claims in *state from the current model, then refits the weights.
   Result<InferenceStats> Infer(BeliefState* state);
 
+  /// Rebuilds the post-Infer() engine state — couplings, partition, MRF
+  /// fields from the current weights and `state` probabilities, and the
+  /// hypothetical-engine binding — WITHOUT running inference. After a
+  /// checkpoint restore (src/service/checkpoint.h) this reproduces the
+  /// exact engine a never-interrupted run would hold, because the final
+  /// MRF of Infer() is a deterministic function of (db, weights, probs).
+  Status RestoreEngine(const BeliefState& state);
+
+  /// Full sampler state, persisted by session checkpoints so a restored
+  /// engine continues the exact Gibbs stream.
+  RngState rng_state() const { return rng_.SaveState(); }
+  void restore_rng_state(const RngState& state) { rng_.RestoreState(state); }
+
   /// Hypothetical re-inference with frozen weights and cached fields:
   /// resamples the claims in `restrict` (all unlabeled claims when null)
   /// under the labels of `state`, and returns the full probability vector

@@ -283,6 +283,8 @@ class RandomStrategy : public SelectionStrategy {
     return unlabeled;
   }
 
+  Rng* mutable_rng() override { return &rng_; }
+
  private:
   Rng rng_;
 };
@@ -381,6 +383,8 @@ class HybridStrategy : public SelectionStrategy, public HybridControl {
 
   void set_z(double z) override { z_ = std::clamp(z, 0.0, 1.0); }
   double z() const override { return z_; }
+
+  Rng* mutable_rng() override { return &rng_; }
 
  private:
   Rng rng_;

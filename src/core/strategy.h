@@ -68,6 +68,12 @@ class SelectionStrategy {
 
   /// Convenience: the single best claim.
   Result<ClaimId> Select(const ICrf& icrf, const BeliefState& state);
+
+  /// The strategy's internal random stream, when it has one (random and
+  /// hybrid policies); null for the deterministic policies. Session
+  /// checkpoints (src/service/checkpoint.h) persist it so a restored
+  /// session continues the exact selection sequence.
+  virtual Rng* mutable_rng() { return nullptr; }
 };
 
 /// Creates a strategy. The returned strategy owns its random stream and,

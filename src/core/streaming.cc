@@ -81,7 +81,7 @@ Result<ArrivalStats> StreamingFactChecker::OnClaimArrival(
   const double gamma = std::min(0.95, schedule.value().Step(arrivals_));
   log_scale_ += std::log1p(-gamma);
   for (const auto& [features, sign] : clique_rows) {
-    WindowExample example;
+    StreamingWindowExample example;
     example.features = features;
     example.target = sign > 0.0 ? prob : 1.0 - prob;
     example.log_weight = std::log(gamma) - log_scale_;
@@ -123,7 +123,7 @@ Result<ArrivalStats> StreamingFactChecker::OnUserLabel(ClaimId claim,
   for (const size_t ci : db_.ClaimCliques(claim)) {
     const Clique& clique = db_.clique(ci);
     model.BuildCliqueFeatures(db_, ci, &x);
-    WindowExample example;
+    StreamingWindowExample example;
     example.features = x;
     const double target = credible ? 1.0 : 0.0;
     example.target = clique.stance == Stance::kSupport ? target : 1.0 - target;
@@ -153,6 +153,33 @@ Result<ArrivalStats> StreamingFactChecker::OnUserLabel(ClaimId claim,
 Result<InferenceStats> StreamingFactChecker::SyncForValidation() {
   VERITAS_RETURN_IF_ERROR(icrf_.SyncStructures());
   return icrf_.Infer(&state_);
+}
+
+StreamingEmState StreamingFactChecker::ExportEmState() const {
+  StreamingEmState em;
+  em.window.assign(window_.begin(), window_.end());
+  em.log_scale = log_scale_;
+  em.arrivals = arrivals_;
+  return em;
+}
+
+void StreamingFactChecker::RestoreEmState(const StreamingEmState& em) {
+  window_.assign(em.window.begin(), em.window.end());
+  log_scale_ = em.log_scale;
+  arrivals_ = static_cast<size_t>(em.arrivals);
+}
+
+void StreamingFactChecker::RestoreDatabase(FactDatabase db, BeliefState state) {
+  db_ = std::move(db);
+  state_ = std::move(state);
+  // db_ is a member, so the engine's database pointer stays valid; only the
+  // cached structures went stale.
+  icrf_.MarkStructuresStale();
+  const size_t want_dim =
+      1 + db_.document_feature_dim() + db_.source_feature_dim();
+  if (icrf_.model().feature_dim() != want_dim) {
+    *icrf_.mutable_model() = CrfModel(want_dim);
+  }
 }
 
 }  // namespace veritas

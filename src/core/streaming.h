@@ -43,6 +43,24 @@ struct ArrivalStats {
   double initial_prob = 0.5;    ///< educated guess for the new claim
 };
 
+/// One retained example of the online-EM surrogate objective. Public (and
+/// checkpointable, src/service/checkpoint.h) because warm-starting a
+/// restored streaming checker requires the exact decayed window.
+struct StreamingWindowExample {
+  std::vector<double> features;
+  double target = 0.5;
+  double log_weight = 0.0;  ///< log of gamma_t at insertion
+};
+
+/// Complete online-EM state of a StreamingFactChecker between arrivals:
+/// restoring it (plus the database, weights and belief state) resumes the
+/// stochastic-approximation stream exactly where the exported run stood.
+struct StreamingEmState {
+  std::vector<StreamingWindowExample> window;
+  double log_scale = 0.0;  ///< cumulative log prod (1 - gamma_t)
+  uint64_t arrivals = 0;
+};
+
 /// Streaming fact checker (Algorithm 2): owns a growing fact database and
 /// maintains the CRF weights by online EM with stochastic approximation
 /// (Eq. 29-30) instead of re-training on the full history. The weights are
@@ -92,18 +110,24 @@ class StreamingFactChecker {
   const std::vector<double>& weights() const { return icrf_.model().weights(); }
   void SetWeights(const std::vector<double>& weights);
 
- private:
-  struct WindowExample {
-    std::vector<double> features;
-    double target = 0.5;
-    double log_weight = 0.0;  ///< log of gamma_t at insertion
-  };
+  /// Retained surrogate examples (diagnostics, memory accounting).
+  size_t em_window_size() const { return window_.size(); }
 
+  /// Captures / restores the online-EM surrogate state (checkpointing).
+  StreamingEmState ExportEmState() const;
+  void RestoreEmState(const StreamingEmState& em);
+
+  /// Replaces the whole database and belief state (checkpoint restore). The
+  /// embedded engine is marked stale; the next SyncForValidation() rebuilds
+  /// its structures over the restored claims.
+  void RestoreDatabase(FactDatabase db, BeliefState state);
+
+ private:
   StreamingOptions options_;
   FactDatabase db_;
   BeliefState state_;
   ICrf icrf_;
-  std::deque<WindowExample> window_;
+  std::deque<StreamingWindowExample> window_;
   double log_scale_ = 0.0;  ///< cumulative log prod (1 - gamma_t)
   size_t arrivals_ = 0;
 };

@@ -55,6 +55,34 @@ void TerminationMonitor::Observe(const TerminationSignals& signals) {
   }
 }
 
+TerminationMonitorState TerminationMonitor::ExportState() const {
+  TerminationMonitorState state;
+  state.previous_entropy = previous_entropy_;
+  state.last_urr = last_urr_;
+  state.urr_calm_rounds = urr_calm_rounds_;
+  state.last_cng_rate = last_cng_rate_;
+  state.cng_calm_rounds = cng_calm_rounds_;
+  state.prediction_streak = prediction_streak_;
+  state.previous_cv_precision = previous_cv_precision_;
+  state.last_pir = last_pir_;
+  state.pir_available = pir_available_;
+  state.pir_calm_rounds = pir_calm_rounds_;
+  return state;
+}
+
+void TerminationMonitor::RestoreState(const TerminationMonitorState& state) {
+  previous_entropy_ = state.previous_entropy;
+  last_urr_ = state.last_urr;
+  urr_calm_rounds_ = static_cast<size_t>(state.urr_calm_rounds);
+  last_cng_rate_ = state.last_cng_rate;
+  cng_calm_rounds_ = static_cast<size_t>(state.cng_calm_rounds);
+  prediction_streak_ = static_cast<size_t>(state.prediction_streak);
+  previous_cv_precision_ = state.previous_cv_precision;
+  last_pir_ = state.last_pir;
+  pir_available_ = state.pir_available;
+  pir_calm_rounds_ = static_cast<size_t>(state.pir_calm_rounds);
+}
+
 bool TerminationMonitor::ShouldStop(std::string* reason) const {
   if (options_.enable_urr && urr_calm_rounds_ >= options_.urr_patience) {
     if (reason != nullptr) *reason = "uncertainty-reduction-rate";

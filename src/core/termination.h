@@ -50,6 +50,22 @@ struct TerminationSignals {
   double cv_precision = -1.0;
 };
 
+/// Snapshot of a TerminationMonitor's internal indicator state, exported for
+/// session checkpoints (src/service/checkpoint.h): restoring it makes the
+/// monitor continue its streak/patience counters exactly where it left off.
+struct TerminationMonitorState {
+  double previous_entropy = -1.0;
+  double last_urr = 1.0;
+  uint64_t urr_calm_rounds = 0;
+  double last_cng_rate = 1.0;
+  uint64_t cng_calm_rounds = 0;
+  uint64_t prediction_streak = 0;
+  double previous_cv_precision = -1.0;
+  double last_pir = 1.0;
+  bool pir_available = false;
+  uint64_t pir_calm_rounds = 0;
+};
+
 /// Tracks the four convergence indicators of §6.1 (URR, CNG, PRE, PIR) and
 /// decides when the validation process may stop early.
 class TerminationMonitor {
@@ -68,6 +84,11 @@ class TerminationMonitor {
   size_t prediction_streak() const { return prediction_streak_; }
   double last_pir() const { return last_pir_; }
   bool pir_available() const { return pir_available_; }
+
+  /// Captures the indicator state for checkpointing.
+  TerminationMonitorState ExportState() const;
+  /// Restores a state captured by ExportState().
+  void RestoreState(const TerminationMonitorState& state);
 
  private:
   TerminationOptions options_;

@@ -28,6 +28,12 @@ class UserModel {
   virtual bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) = 0;
 
   virtual std::string name() const = 0;
+
+  /// The validator's internal random stream, when it has one (erroneous and
+  /// skipping users); null for deterministic validators. Session checkpoints
+  /// (src/service/checkpoint.h) persist it so a restored session's simulated
+  /// user errs/skips exactly as the uninterrupted one would have.
+  virtual Rng* mutable_rng() { return nullptr; }
 };
 
 /// Always answers the ground truth.
@@ -44,6 +50,7 @@ class ErroneousUser : public UserModel {
 
   bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) override;
   std::string name() const override { return "erroneous"; }
+  Rng* mutable_rng() override { return &rng_; }
 
   size_t mistakes_made() const { return mistakes_made_; }
 
@@ -61,6 +68,7 @@ class SkippingUser : public UserModel {
 
   bool Validate(const FactDatabase& db, ClaimId claim, bool* skipped) override;
   std::string name() const override { return "skipping"; }
+  Rng* mutable_rng() override { return &rng_; }
 
   size_t skips() const { return skips_; }
 

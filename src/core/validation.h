@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "core/batch.h"
 #include "core/confirmation.h"
 #include "core/grounding.h"
@@ -57,6 +59,31 @@ struct ValidationOptions {
   uint64_t seed = 42;
 };
 
+/// The selection half of one iteration of Algorithm 1: which claims the
+/// guidance stage wants validated next, or the stop decision. Produced by
+/// ValidationProcess::PlanStep(); the caller elicits the verdicts (from a
+/// UserModel, a service client, a crowd...) and feeds them back through
+/// CompleteStep().
+struct StepPlan {
+  /// A stop criterion fired; `candidates` is empty and the loop is over.
+  bool done = false;
+  std::string stop_reason;
+  /// Ranked claims to validate. Batch mode: exactly the batch (answer all).
+  /// Single mode: the top-ranked claim plus fallbacks for a skipping user
+  /// (answer one).
+  std::vector<ClaimId> candidates;
+  /// True when every candidate must be answered (batching, §6.2).
+  bool batch = false;
+};
+
+/// The elicitation half of one iteration: the verdicts the user actually
+/// gave, fed to ValidationProcess::CompleteStep().
+struct StepAnswers {
+  std::vector<ClaimId> claims;   ///< claims validated (parallel to `answers`)
+  std::vector<uint8_t> answers;  ///< 1 = credible
+  size_t skips = 0;              ///< ranked candidates skipped beforehand
+};
+
 /// Everything recorded about one iteration of Algorithm 1 (the raw series
 /// behind Figs. 3-9).
 struct IterationRecord {
@@ -72,6 +99,10 @@ struct IterationRecord {
   double unreliable_ratio = 0.0; ///< r_i
   size_t repairs = 0;            ///< confirmation-check repairs
   size_t skips = 0;              ///< user skips before a validation happened
+  /// Labels the confirmation check flagged this iteration. With an attached
+  /// user they were re-elicited in place (see `repairs`); without one
+  /// (external-answer service sessions) they await client re-validation.
+  std::vector<ClaimId> flagged;
   bool prediction_matched = true;
   double urr = 0.0;              ///< indicator values for Fig. 9
   double cng = 0.0;
@@ -93,28 +124,91 @@ struct ValidationOutcome {
   double final_precision = 0.0;
 };
 
+/// Complete mutable state of a ValidationProcess between iterations,
+/// exported for session checkpoints (src/service/checkpoint.h). Together
+/// with the fact database and the options it fully determines the rest of
+/// the run: restoring it and continuing produces bit-for-bit the posterior
+/// a never-interrupted run would have produced.
+struct ValidationSessionState {
+  bool initialized = false;
+  uint64_t iteration = 0;
+  double last_error_rate = 0.0;
+  uint64_t validations_since_confirmation = 0;
+  std::vector<ClaimId> confirmed_labels;
+  double hybrid_z = 0.0;
+  TerminationMonitorState monitor;
+  BeliefState state;
+  Grounding grounding;
+  ValidationOutcome outcome;
+  RngState icrf_rng;
+  bool has_strategy_rng = false;
+  RngState strategy_rng;
+  std::vector<double> weights;  ///< log-linear CRF weights (warm start)
+};
+
 /// The complete validation process for fact checking (Algorithm 1, §5.1):
 /// iteratively selects claims (strategy of §4), elicits user input, runs
 /// iCRF inference, decides the grounding, and maintains the hybrid z-score,
 /// optional confirmation checks, batching and early termination.
+///
+/// Two driving surfaces share the same internals:
+///  - Run() executes Algorithm 1 to completion against the attached
+///    UserModel (the batch experiments).
+///  - Initialize() / PlanStep() / CompleteStep() expose one iteration as a
+///    resumable select-then-answer exchange, which is what the session
+///    service (src/service/) multiplexes across many concurrent checkers.
+///    `user` may then be null; elicitation happens outside the process.
 class ValidationProcess {
  public:
-  /// `db` and `user` must outlive the process.
+  /// `db` and `user` must outlive the process. `user` may be null when the
+  /// process is driven through PlanStep()/CompleteStep() with externally
+  /// elicited answers; Run() then fails, and confirmation checks flag labels
+  /// (IterationRecord::flagged) without re-eliciting them.
   ValidationProcess(const FactDatabase* db, UserModel* user,
                     const ValidationOptions& options);
 
   /// Runs Algorithm 1 to completion and returns the outcome.
   Result<ValidationOutcome> Run();
 
+  /// Runs the initial inference from the maximum-entropy prior (Alg. 1
+  /// lines 1-4). Idempotent; PlanStep() calls it on demand.
+  Status Initialize();
+
+  /// Selection half of one iteration: checks the stop criteria (goal,
+  /// budget, early termination, claims exhausted) and, when the loop goes
+  /// on, returns the claims to validate.
+  Result<StepPlan> PlanStep();
+
+  /// Elicitation half: incorporates the verdicts, runs iCRF inference,
+  /// re-grounds, updates the hybrid z-score, and consults the confirmation
+  /// check and the termination monitor. Must follow a PlanStep() whose
+  /// `done` was false.
+  Result<IterationRecord> CompleteStep(const StepAnswers& answers);
+
+  /// Outcome accumulated so far (trace, validation/mistake counters).
+  const ValidationOutcome& outcome() const { return outcome_; }
+
+  /// Finalizes the accumulated outcome (posterior, grounding, final
+  /// precision) and returns it. The process stays usable.
+  ValidationOutcome FinalizedOutcome();
+
+  /// Captures / restores the complete inter-iteration state (checkpointing;
+  /// see ValidationSessionState). Restore rebuilds the inference engine so
+  /// the next PlanStep() continues exactly where the exported run stood.
+  ValidationSessionState ExportSessionState() const;
+  Status RestoreSessionState(const ValidationSessionState& session);
+
+  /// Elicits answers for a plan from the attached UserModel, honoring skips
+  /// (§8.5). Used by Run() and by auto-answering service sessions.
+  Result<StepAnswers> ElicitAnswers(const StepPlan& plan);
+
   const ICrf& icrf() const { return icrf_; }
+  const BeliefState& state() const { return state_; }
+  const Grounding& grounding() const { return grounding_; }
+  const ValidationOptions& options() const { return options_; }
 
  private:
-  /// One iteration (selection + elicitation + inference + grounding).
-  /// Returns false when no unlabeled claim remains.
-  Result<bool> Step(ValidationOutcome* outcome);
-
-  Status RunConfirmationCheck(ValidationOutcome* outcome,
-                              IterationRecord* record);
+  Status RunConfirmationCheck(IterationRecord* record);
 
   const FactDatabase* db_;
   UserModel* user_;
@@ -126,6 +220,9 @@ class ValidationProcess {
   BeliefState state_;
   Grounding grounding_;
   TerminationMonitor monitor_;
+  ValidationOutcome outcome_;
+  bool initialized_ = false;
+  Stopwatch step_watch_;  ///< spans PlanStep -> CompleteStep (Fig. 2/3 time)
   size_t iteration_ = 0;
   double last_error_rate_ = 0.0;
   size_t validations_since_confirmation_ = 0;

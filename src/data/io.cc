@@ -1,7 +1,10 @@
 #include "data/io.h"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace veritas {
@@ -37,6 +40,40 @@ Status ParseIndex(const std::string& text, size_t* out) {
 
 }  // namespace
 
+std::string EscapeTsvField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (const char c : field) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeTsvField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\' || i + 1 == field.size()) {
+      out += field[i];
+      continue;
+    }
+    switch (field[i + 1]) {
+      case '\\': out += '\\'; ++i; break;
+      case 't': out += '\t'; ++i; break;
+      case 'n': out += '\n'; ++i; break;
+      case 'r': out += '\r'; ++i; break;
+      default: out += field[i];  // unknown escape: keep verbatim
+    }
+  }
+  return out;
+}
+
 Status SaveFactDatabase(const FactDatabase& db, const std::string& directory) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
@@ -47,9 +84,12 @@ Status SaveFactDatabase(const FactDatabase& db, const std::string& directory) {
   {
     std::ofstream out(directory + "/sources.tsv");
     if (!out) return Status::Internal("SaveFactDatabase: cannot open sources.tsv");
+    // max_digits10 makes the feature round-trip value-exact — checkpoints
+    // (src/service/checkpoint.h) rebuild inference inputs from these files.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (size_t s = 0; s < db.num_sources(); ++s) {
       const Source& source = db.source(static_cast<SourceId>(s));
-      out << s << '\t' << source.name;
+      out << s << '\t' << EscapeTsvField(source.name);
       for (double f : source.features) out << '\t' << f;
       out << '\n';
     }
@@ -57,6 +97,7 @@ Status SaveFactDatabase(const FactDatabase& db, const std::string& directory) {
   {
     std::ofstream out(directory + "/documents.tsv");
     if (!out) return Status::Internal("SaveFactDatabase: cannot open documents.tsv");
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (size_t d = 0; d < db.num_documents(); ++d) {
       const Document& document = db.document(static_cast<DocumentId>(d));
       out << d << '\t' << document.source;
@@ -69,7 +110,7 @@ Status SaveFactDatabase(const FactDatabase& db, const std::string& directory) {
     if (!out) return Status::Internal("SaveFactDatabase: cannot open claims.tsv");
     for (size_t c = 0; c < db.num_claims(); ++c) {
       const ClaimId id = static_cast<ClaimId>(c);
-      out << c << '\t' << db.claim(id).text << '\t';
+      out << c << '\t' << EscapeTsvField(db.claim(id).text) << '\t';
       if (db.has_ground_truth(id)) {
         out << (db.ground_truth(id) ? '1' : '0');
       } else {
@@ -102,7 +143,7 @@ Result<FactDatabase> LoadFactDatabase(const std::string& directory) {
         return Status::InvalidArgument("LoadFactDatabase: bad source row");
       }
       Source source;
-      source.name = fields[1];
+      source.name = UnescapeTsvField(fields[1]);
       for (size_t i = 2; i < fields.size(); ++i) {
         double value = 0.0;
         VERITAS_RETURN_IF_ERROR(ParseDouble(fields[i], &value));
@@ -147,7 +188,7 @@ Result<FactDatabase> LoadFactDatabase(const std::string& directory) {
         return Status::InvalidArgument("LoadFactDatabase: bad claim row");
       }
       Claim claim;
-      claim.text = fields[1];
+      claim.text = UnescapeTsvField(fields[1]);
       const ClaimId id = db.AddClaim(std::move(claim));
       if (fields[2] == "0") {
         db.SetGroundTruth(id, false);
@@ -178,6 +219,152 @@ Result<FactDatabase> LoadFactDatabase(const std::string& directory) {
   }
   VERITAS_RETURN_IF_ERROR(db.Validate());
   return db;
+}
+
+void BinaryWriter::U8(uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+
+void BinaryWriter::U32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void BinaryWriter::U64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xffull));
+  }
+}
+
+void BinaryWriter::F64(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 double expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  U64(bits);
+}
+
+void BinaryWriter::Str(const std::string& value) {
+  U64(value.size());
+  buffer_.append(value);
+}
+
+void BinaryWriter::VecU8(const std::vector<uint8_t>& values) {
+  U64(values.size());
+  for (const uint8_t v : values) U8(v);
+}
+
+void BinaryWriter::VecU32(const std::vector<uint32_t>& values) {
+  U64(values.size());
+  for (const uint32_t v : values) U32(v);
+}
+
+void BinaryWriter::VecF64(const std::vector<double>& values) {
+  U64(values.size());
+  for (const double v : values) F64(v);
+}
+
+Status BinaryWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("BinaryWriter: cannot open " + path);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out.flush();
+  if (!out) return Status::Internal("BinaryWriter: short write to " + path);
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("BinaryReader: cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return BinaryReader(std::move(contents).str());
+}
+
+Status BinaryReader::Take(size_t n, const char** out) {
+  if (bytes_.size() - offset_ < n) {
+    return Status::OutOfRange("BinaryReader: truncated buffer");
+  }
+  *out = bytes_.data() + offset_;
+  offset_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::U8(uint8_t* out) {
+  const char* p = nullptr;
+  VERITAS_RETURN_IF_ERROR(Take(1, &p));
+  *out = static_cast<uint8_t>(*p);
+  return Status::OK();
+}
+
+Status BinaryReader::U32(uint32_t* out) {
+  const char* p = nullptr;
+  VERITAS_RETURN_IF_ERROR(Take(4, &p));
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status BinaryReader::U64(uint64_t* out) {
+  const char* p = nullptr;
+  VERITAS_RETURN_IF_ERROR(Take(8, &p));
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status BinaryReader::F64(double* out) {
+  uint64_t bits = 0;
+  VERITAS_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BinaryReader::Str(std::string* out) {
+  uint64_t size = 0;
+  VERITAS_RETURN_IF_ERROR(U64(&size));
+  if (size > remaining()) {
+    return Status::OutOfRange("BinaryReader: truncated string");
+  }
+  const char* p = nullptr;
+  VERITAS_RETURN_IF_ERROR(Take(static_cast<size_t>(size), &p));
+  out->assign(p, static_cast<size_t>(size));
+  return Status::OK();
+}
+
+Status BinaryReader::VecU8(std::vector<uint8_t>* out) {
+  uint64_t size = 0;
+  VERITAS_RETURN_IF_ERROR(U64(&size));
+  if (size > remaining()) return Status::OutOfRange("BinaryReader: truncated vector");
+  out->resize(static_cast<size_t>(size));
+  for (auto& v : *out) VERITAS_RETURN_IF_ERROR(U8(&v));
+  return Status::OK();
+}
+
+Status BinaryReader::VecU32(std::vector<uint32_t>* out) {
+  uint64_t size = 0;
+  VERITAS_RETURN_IF_ERROR(U64(&size));
+  if (size > remaining() / 4) {
+    return Status::OutOfRange("BinaryReader: truncated vector");
+  }
+  out->resize(static_cast<size_t>(size));
+  for (auto& v : *out) VERITAS_RETURN_IF_ERROR(U32(&v));
+  return Status::OK();
+}
+
+Status BinaryReader::VecF64(std::vector<double>* out) {
+  uint64_t size = 0;
+  VERITAS_RETURN_IF_ERROR(U64(&size));
+  if (size > remaining() / 8) {
+    return Status::OutOfRange("BinaryReader: truncated vector");
+  }
+  out->resize(static_cast<size_t>(size));
+  for (auto& v : *out) VERITAS_RETURN_IF_ERROR(F64(&v));
+  return Status::OK();
 }
 
 }  // namespace veritas

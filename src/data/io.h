@@ -1,7 +1,9 @@
 #ifndef VERITAS_DATA_IO_H_
 #define VERITAS_DATA_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/model.h"
@@ -13,11 +15,77 @@ namespace veritas {
 ///   documents.tsv  id, source, feature columns
 ///   claims.tsv     id, text, ground-truth flag ("?", "0", "1")
 ///   mentions.tsv   document, claim, stance ("support" / "refute")
+/// Free-text fields (source names, claim texts) are escaped so that tabs,
+/// newlines and carriage returns survive the round trip (see EscapeTsvField).
 /// The directory is created when missing. Existing files are overwritten.
 Status SaveFactDatabase(const FactDatabase& db, const std::string& directory);
 
 /// Loads a fact database previously written by SaveFactDatabase.
 Result<FactDatabase> LoadFactDatabase(const std::string& directory);
+
+/// Escapes a free-text TSV field: backslash, tab, newline and carriage
+/// return become the two-character sequences \\, \t, \n, \r. The result
+/// contains no field or row separators, so claim texts with embedded
+/// whitespace round-trip through the TSV files.
+std::string EscapeTsvField(const std::string& field);
+
+/// Inverse of EscapeTsvField. Unrecognized escape sequences (and a trailing
+/// lone backslash) are kept verbatim, so files written before the escaping
+/// rules load unchanged.
+std::string UnescapeTsvField(const std::string& field);
+
+/// Little-endian binary serialization for exact state persistence (the
+/// session checkpoints of src/service/checkpoint.h). Doubles are written as
+/// their IEEE-754 bit pattern: round-trips are bit-for-bit, which the
+/// restore-equals-never-checkpointed guarantee of the service rests on.
+class BinaryWriter {
+ public:
+  void U8(uint8_t value);
+  void U32(uint32_t value);
+  void U64(uint64_t value);
+  void F64(double value);
+  /// Length-prefixed (u64) byte string.
+  void Str(const std::string& value);
+  void VecU8(const std::vector<uint8_t>& values);
+  void VecU32(const std::vector<uint32_t>& values);
+  void VecF64(const std::vector<double>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to `path`, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// Reader over a byte buffer produced by BinaryWriter. Every accessor
+/// bounds-checks and returns OutOfRange on a truncated buffer, so corrupt
+/// checkpoints surface as errors instead of undefined behavior.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Status U8(uint8_t* out);
+  Status U32(uint32_t* out);
+  Status U64(uint64_t* out);
+  Status F64(double* out);
+  Status Str(std::string* out);
+  Status VecU8(std::vector<uint8_t>* out);
+  Status VecU32(std::vector<uint32_t>* out);
+  Status VecF64(std::vector<double>* out);
+
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string bytes_;
+  size_t offset_ = 0;
+};
 
 }  // namespace veritas
 

@@ -1,0 +1,149 @@
+#include "service/request_queue.h"
+
+#include <algorithm>
+
+namespace veritas {
+
+RequestQueue::RequestQueue(SessionManager* manager,
+                           const RequestQueueOptions& options)
+    : manager_(manager), options_(options) {
+  pool_ = std::make_unique<ThreadPool>(options.num_workers);
+  for (size_t i = 0; i < pool_->num_threads(); ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+RequestQueue::~RequestQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  // Joins the workers; they drain every accepted request before exiting.
+  pool_.reset();
+}
+
+Result<std::future<ServiceResponse>> RequestQueue::Submit(ServiceRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++stats_.rejected;
+    return Status::Unavailable("RequestQueue: shutting down");
+  }
+  if (queued_ >= options_.max_queue_depth) {
+    ++stats_.rejected;
+    return Status::Unavailable("RequestQueue: queue full (admission control)");
+  }
+  const SessionId session = request.session;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<ServiceResponse> future = pending.promise.get_future();
+  auto& backlog = per_session_[session];
+  const bool was_idle = backlog.empty() && executing_.count(session) == 0;
+  backlog.push_back(std::move(pending));
+  ++queued_;
+  ++stats_.accepted;
+  stats_.peak_depth = std::max(stats_.peak_depth, queued_);
+  if (was_idle) {
+    ready_.push_back(session);
+    work_cv_.notify_one();
+  }
+  return future;
+}
+
+void RequestQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return !ready_.empty() || (shutdown_ && queued_ == 0);
+    });
+    if (ready_.empty()) {
+      // Shutdown with the queue fully drained. Wake the other sleepers:
+      // their last notification may predate the final completion (which
+      // only notifies when a backlog remains), and nobody else will signal
+      // them again.
+      work_cv_.notify_all();
+      return;
+    }
+
+    const SessionId session = ready_.front();
+    ready_.pop_front();
+    auto it = per_session_.find(session);
+    if (it == per_session_.end() || it->second.empty()) continue;
+    Pending pending = std::move(it->second.front());
+    it->second.pop_front();
+    --queued_;
+    ++in_flight_;
+    executing_.insert(session);
+
+    lock.unlock();
+    const auto started = std::chrono::steady_clock::now();
+    ServiceResponse response = Execute(pending.request);
+    const auto finished = std::chrono::steady_clock::now();
+    response.wait_seconds =
+        std::chrono::duration<double>(started - pending.enqueued).count();
+    response.service_seconds =
+        std::chrono::duration<double>(finished - started).count();
+    pending.promise.set_value(std::move(response));
+    lock.lock();
+
+    --in_flight_;
+    ++stats_.completed;
+    executing_.erase(session);
+    it = per_session_.find(session);
+    if (it != per_session_.end()) {
+      if (it->second.empty()) {
+        per_session_.erase(it);
+      } else {
+        // The session accumulated more work while executing: hand it to the
+        // next free worker, preserving its FIFO order.
+        ready_.push_back(session);
+        work_cv_.notify_one();
+      }
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+ServiceResponse RequestQueue::Execute(const ServiceRequest& request) {
+  ServiceResponse response;
+  switch (request.kind) {
+    case RequestKind::kAdvance: {
+      auto result = manager_->Advance(request.session);
+      response.status = result.status();
+      if (result.ok()) response.step = std::move(result).value();
+      break;
+    }
+    case RequestKind::kAnswer: {
+      auto result = manager_->Answer(request.session, request.answers);
+      response.status = result.status();
+      if (result.ok()) response.step = std::move(result).value();
+      break;
+    }
+    case RequestKind::kGround: {
+      auto result = manager_->Ground(request.session);
+      response.status = result.status();
+      if (result.ok()) response.grounding = std::move(result).value();
+      break;
+    }
+    case RequestKind::kTerminate: {
+      auto result = manager_->Terminate(request.session);
+      response.status = result.status();
+      if (result.ok()) response.outcome = std::move(result).value();
+      break;
+    }
+  }
+  return response;
+}
+
+void RequestQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+}
+
+RequestQueueStats RequestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace veritas

@@ -1,0 +1,122 @@
+/// \file
+/// Asynchronous execution front end of the guidance service (DESIGN.md §9):
+/// a bounded request queue drained by a fixed worker pool
+/// (common/thread_pool.h), so K worker threads multiplex M >> K sessions.
+/// Scheduling is per-session FIFO: requests against one session execute in
+/// submission order, one at a time, while requests against distinct
+/// sessions run in parallel (pinned by tests/service/request_queue_test).
+/// Admission control: once `max_queue_depth` requests are waiting, Submit()
+/// rejects with kUnavailable instead of letting the backlog grow without
+/// bound — the caller sheds load or retries.
+
+#ifndef VERITAS_SERVICE_REQUEST_QUEUE_H_
+#define VERITAS_SERVICE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/session_manager.h"
+
+namespace veritas {
+
+/// What a request asks of its session.
+enum class RequestKind : uint8_t { kAdvance = 0, kAnswer = 1, kGround = 2, kTerminate = 3 };
+
+struct ServiceRequest {
+  RequestKind kind = RequestKind::kAdvance;
+  SessionId session = 0;
+  StepAnswers answers;  ///< kAnswer only
+};
+
+/// Union-style response; `status` says which half (if any) is meaningful.
+struct ServiceResponse {
+  Status status;
+  StepResult step;            ///< kAdvance / kAnswer
+  GroundingView grounding;    ///< kGround
+  ValidationOutcome outcome;  ///< kTerminate
+  /// Queue-side timing, measured by the worker: time the request waited for
+  /// a worker + time it spent executing. Their sum is the request latency
+  /// the throughput bench reports percentiles of.
+  double wait_seconds = 0.0;
+  double service_seconds = 0.0;
+};
+
+struct RequestQueueOptions {
+  /// Worker threads draining the queue (0 = hardware concurrency).
+  size_t num_workers = 2;
+  /// Admission-control bound on waiting (not yet executing) requests.
+  size_t max_queue_depth = 256;
+};
+
+struct RequestQueueStats {
+  size_t accepted = 0;
+  size_t rejected = 0;   ///< admission-control rejections
+  size_t completed = 0;
+  size_t peak_depth = 0;
+};
+
+/// Bounded MPMC request queue over a SessionManager. Thread-safe; the
+/// destructor drains every accepted request before returning.
+class RequestQueue {
+ public:
+  RequestQueue(SessionManager* manager, const RequestQueueOptions& options);
+  ~RequestQueue();
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues a request. Returns kUnavailable when the queue is full (shed
+  /// load, retry later) or shutting down; otherwise the future resolves
+  /// once a worker has executed the request.
+  Result<std::future<ServiceResponse>> Submit(ServiceRequest request);
+
+  /// Blocks until every accepted request has completed.
+  void Drain();
+
+  RequestQueueStats stats() const;
+
+  size_t num_workers() const { return pool_->num_threads(); }
+
+ private:
+  struct Pending {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  ServiceResponse Execute(const ServiceRequest& request);
+
+  SessionManager* manager_;
+  RequestQueueOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for ready sessions
+  std::condition_variable drain_cv_;  ///< Drain()/dtor wait for quiescence
+  /// Per-session FIFO backlogs plus the set of sessions currently executing;
+  /// `ready_` holds sessions with work that no worker owns yet.
+  std::map<SessionId, std::deque<Pending>> per_session_;
+  std::deque<SessionId> ready_;
+  std::set<SessionId> executing_;
+  size_t queued_ = 0;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  RequestQueueStats stats_;
+
+  /// The workers live here: num_workers long-running WorkerLoop tasks.
+  /// Declared last, so it is destroyed first — workers are joined while the
+  /// queue state above is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_SERVICE_REQUEST_QUEUE_H_

@@ -1,0 +1,234 @@
+#include "service/session_manager.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "service/checkpoint.h"
+
+namespace veritas {
+
+SessionManager::SessionManager(const SessionManagerOptions& options)
+    : options_(options) {}
+
+SessionManager::~SessionManager() = default;
+
+Result<SessionId> SessionManager::Create(FactDatabase db,
+                                         const SessionSpec& spec) {
+  auto created = Session::Create(std::move(db), spec);
+  if (!created.ok()) return created.status();
+  std::shared_ptr<Session> session = std::move(created).value();
+  const size_t footprint = session->MemoryFootprintBytes();
+
+  SessionId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    Entry entry;
+    entry.session = std::move(session);
+    entry.last_touch = ++touch_clock_;
+    entry.footprint = footprint;
+    sessions_.emplace(id, std::move(entry));
+    ++created_;
+  }
+  const Status fitted = EnforceBudget(id);
+  if (!fitted.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(id);
+    return fitted;
+  }
+  return id;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Acquire(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("SessionManager: unknown session " +
+                            std::to_string(id));
+  }
+  Entry& entry = it->second;
+  if (entry.session == nullptr) {
+    // Spilled: transparently restore from the checkpoint. The load happens
+    // under the map lock, which is acceptable because eviction targets idle
+    // sessions only — hot sessions never take this path.
+    auto restored = LoadSessionCheckpoint(entry.spill_path);
+    if (!restored.ok()) return restored.status();
+    entry.session = std::move(restored).value();
+    std::error_code ec;
+    std::filesystem::remove_all(entry.spill_path, ec);
+    entry.spill_path.clear();
+    entry.footprint = entry.session->MemoryFootprintBytes();
+    ++spill_restores_;
+  }
+  entry.last_touch = ++touch_clock_;
+  ++entry.pins;
+  return entry.session;
+}
+
+void SessionManager::Release(SessionId id, size_t footprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // terminated concurrently
+  if (it->second.pins > 0) --it->second.pins;
+  if (footprint > 0) it->second.footprint = footprint;
+}
+
+Status SessionManager::EnforceBudget(SessionId keep) {
+  if (options_.memory_budget_bytes == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (;;) {
+    size_t resident_bytes = 0;
+    for (const auto& [id, entry] : sessions_) {
+      if (entry.session != nullptr) resident_bytes += entry.footprint;
+    }
+    if (resident_bytes <= options_.memory_budget_bytes) return Status::OK();
+
+    // Least-recently-used resident, unpinned, not the protected session.
+    SessionId victim = 0;
+    uint64_t oldest = 0;
+    bool found = false;
+    for (const auto& [id, entry] : sessions_) {
+      if (id == keep || entry.session == nullptr || entry.pins > 0) continue;
+      if (!found || entry.last_touch < oldest) {
+        victim = id;
+        oldest = entry.last_touch;
+        found = true;
+      }
+    }
+    if (!found) {
+      // Only the protected/pinned sessions remain resident; the budget is
+      // respected as far as eviction can take it.
+      return Status::OK();
+    }
+    if (options_.spill_directory.empty()) {
+      return Status::Unavailable(
+          "SessionManager: memory budget exhausted and no spill directory "
+          "configured");
+    }
+    Entry& entry = sessions_[victim];
+    const std::string path =
+        options_.spill_directory + "/session_" + std::to_string(victim);
+    // pins == 0 and mu_ held: no step is in flight and none can start, so
+    // the session state is quiescent for checkpointing.
+    VERITAS_RETURN_IF_ERROR(SaveSessionCheckpoint(*entry.session, path));
+    entry.session.reset();
+    entry.spill_path = path;
+    ++evictions_;
+  }
+}
+
+Result<StepResult> SessionManager::RunStep(
+    SessionId id, const std::function<Result<StepResult>(Session&)>& step) {
+  auto acquired = Acquire(id);
+  if (!acquired.ok()) return acquired.status();
+  std::shared_ptr<Session> session = std::move(acquired).value();
+  size_t footprint = 0;
+  Result<StepResult> result = [&]() -> Result<StepResult> {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    auto stepped = step(*session);
+    // Footprint is read under the session lock: the moment it drops,
+    // another thread may enter a step on this session.
+    if (stepped.ok()) footprint = session->MemoryFootprintBytes();
+    return stepped;
+  }();
+  Release(id, footprint);
+  // Best effort only: a budget shortfall must not swallow the result of a
+  // step that already committed (see header).
+  (void)EnforceBudget(id);
+  return result;
+}
+
+Result<StepResult> SessionManager::Advance(SessionId id) {
+  return RunStep(id, [](Session& session) { return session.Advance(); });
+}
+
+Result<StepResult> SessionManager::Answer(SessionId id,
+                                          const StepAnswers& answers) {
+  return RunStep(id, [&answers](Session& session) {
+    return session.Answer(answers);
+  });
+}
+
+Result<GroundingView> SessionManager::Ground(SessionId id) {
+  auto acquired = Acquire(id);
+  if (!acquired.ok()) return acquired.status();
+  std::shared_ptr<Session> session = std::move(acquired).value();
+  Result<GroundingView> view = [&] {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    return session->Ground();
+  }();
+  Release(id, 0);
+  return view;
+}
+
+Result<ValidationOutcome> SessionManager::Terminate(SessionId id) {
+  auto acquired = Acquire(id);
+  if (!acquired.ok()) return acquired.status();
+  std::shared_ptr<Session> session = std::move(acquired).value();
+  Result<ValidationOutcome> outcome = [&] {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    return session->Finalize();
+  }();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(id);
+  }
+  return outcome;
+}
+
+Status SessionManager::Checkpoint(SessionId id, const std::string& directory) {
+  auto acquired = Acquire(id);
+  if (!acquired.ok()) return acquired.status();
+  std::shared_ptr<Session> session = std::move(acquired).value();
+  Status saved = [&] {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    return SaveSessionCheckpoint(*session, directory);
+  }();
+  Release(id, 0);
+  return saved;
+}
+
+Result<SessionId> SessionManager::Restore(const std::string& directory) {
+  auto restored = LoadSessionCheckpoint(directory);
+  if (!restored.ok()) return restored.status();
+  std::shared_ptr<Session> session = std::move(restored).value();
+  const size_t footprint = session->MemoryFootprintBytes();
+  SessionId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    Entry entry;
+    entry.session = std::move(session);
+    entry.last_touch = ++touch_clock_;
+    entry.footprint = footprint;
+    sessions_.emplace(id, std::move(entry));
+    ++created_;
+  }
+  const Status fitted = EnforceBudget(id);
+  if (!fitted.ok()) {
+    // Mirror Create(): admission failed, so the session must not linger in
+    // the map consuming the very budget that rejected it.
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(id);
+    return fitted;
+  }
+  return id;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionManagerStats stats;
+  stats.sessions_created = created_;
+  stats.sessions_active = sessions_.size();
+  stats.evictions = evictions_;
+  stats.spill_restores = spill_restores_;
+  for (const auto& [id, entry] : sessions_) {
+    if (entry.session != nullptr) {
+      ++stats.sessions_resident;
+      stats.resident_bytes += entry.footprint;
+    }
+  }
+  return stats;
+}
+
+}  // namespace veritas

@@ -1,0 +1,125 @@
+/// \file
+/// The concurrent session host (DESIGN.md §9): owns N independent
+/// fact-checking sessions behind a thread-safe create/advance/answer/
+/// ground/terminate lifecycle. Steps of distinct sessions run in parallel
+/// (each session carries its own lock); a single session's steps are
+/// strictly serialized. Under a configurable memory budget the manager
+/// evicts least-recently-used idle sessions to checkpoint directories
+/// (service/checkpoint.h) and transparently restores them on next touch —
+/// the same warm-start persistence that survives process restarts.
+
+#ifndef VERITAS_SERVICE_SESSION_MANAGER_H_
+#define VERITAS_SERVICE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "service/session.h"
+
+namespace veritas {
+
+using SessionId = uint64_t;
+
+struct SessionManagerOptions {
+  /// Resident-session memory budget in bytes; 0 = unlimited. When an
+  /// operation pushes the resident total past the budget, LRU idle sessions
+  /// are spilled to `spill_directory` until it fits (the touched session
+  /// itself always stays resident).
+  size_t memory_budget_bytes = 0;
+  /// Where evicted sessions checkpoint. Empty with a budget set means
+  /// eviction cannot spill, so Create() fails once the budget is exhausted.
+  std::string spill_directory;
+};
+
+/// Aggregate service counters (diagnostics and the throughput bench).
+struct SessionManagerStats {
+  size_t sessions_created = 0;
+  size_t sessions_active = 0;   ///< resident + spilled
+  size_t sessions_resident = 0;
+  size_t evictions = 0;
+  size_t spill_restores = 0;
+  size_t resident_bytes = 0;    ///< footprint estimate of resident sessions
+};
+
+/// Thread-safe multi-session host. All public methods may be called
+/// concurrently from any thread.
+class SessionManager {
+ public:
+  explicit SessionManager(const SessionManagerOptions& options = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session over `db` per `spec` and returns its id.
+  Result<SessionId> Create(FactDatabase db, const SessionSpec& spec);
+
+  /// One unit of work on the session (see Session::Advance).
+  Result<StepResult> Advance(SessionId id);
+
+  /// External verdicts for the session's pending step (see Session::Answer).
+  Result<StepResult> Answer(SessionId id, const StepAnswers& answers);
+
+  /// Current grounding + posterior snapshot.
+  Result<GroundingView> Ground(SessionId id);
+
+  /// Finalizes the session, removes it, and returns its outcome.
+  Result<ValidationOutcome> Terminate(SessionId id);
+
+  /// Checkpoints the session to `directory` (it stays active).
+  Status Checkpoint(SessionId id, const std::string& directory);
+
+  /// Restores a checkpointed session as a NEW session of this manager.
+  Result<SessionId> Restore(const std::string& directory);
+
+  SessionManagerStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Session> session;  ///< null while spilled
+    std::string spill_path;            ///< non-empty while spilled
+    uint64_t last_touch = 0;
+    size_t footprint = 0;  ///< last MemoryFootprintBytes() of the session
+    /// In-flight operations. A pinned session is never evicted: eviction
+    /// checkpoints session state, which must be quiescent.
+    size_t pins = 0;
+  };
+
+  /// Pins the session resident (restoring it from spill when needed) and
+  /// returns it. Bumps the LRU clock.
+  Result<std::shared_ptr<Session>> Acquire(SessionId id);
+
+  /// Drops the pin taken by Acquire() and records the fresh footprint
+  /// estimate (0 = leave unchanged).
+  void Release(SessionId id, size_t footprint);
+
+  /// Spills LRU idle sessions until the resident total fits the budget
+  /// again. Never evicts `keep` or any pinned session.
+  Status EnforceBudget(SessionId keep);
+
+  /// The shared acquire → lock → step → release → budget protocol behind
+  /// Advance() and Answer(). A budget shortfall after the step is NOT an
+  /// error: the step already committed (verdict consumed, RNG advanced),
+  /// so its result must reach the caller — the budget gates admission
+  /// (Create/Restore), not completed work.
+  Result<StepResult> RunStep(
+      SessionId id, const std::function<Result<StepResult>(Session&)>& step);
+
+  SessionManagerOptions options_;
+  mutable std::mutex mu_;  ///< guards the map, LRU clock and counters
+  std::map<SessionId, Entry> sessions_;
+  SessionId next_id_ = 1;
+  uint64_t touch_clock_ = 0;
+  size_t created_ = 0;
+  size_t evictions_ = 0;
+  size_t spill_restores_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_SERVICE_SESSION_MANAGER_H_

@@ -1,6 +1,7 @@
 #include "data/io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include <gtest/gtest.h>
@@ -82,6 +83,149 @@ TEST_F(IoTest, LoadMissingDirectoryFails) {
   auto loaded = LoadFactDatabase(dir_ + "/does-not-exist");
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, FeatureRoundTripIsValueExact) {
+  FactDatabase db;
+  db.AddSource({"s", {1.0 / 3.0, 0.1234567890123456789, 1e-17}});
+  db.AddDocument({0, {2.0 / 7.0, 0.30000000000000004}});
+  db.AddClaim({"c"});
+  ASSERT_TRUE(db.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(SaveFactDatabase(db, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  const auto& source = loaded.value().source(0).features;
+  const auto& document = loaded.value().document(0).features;
+  ASSERT_EQ(source.size(), 3u);
+  ASSERT_EQ(document.size(), 2u);
+  // Bit-exact: checkpoint restore rebuilds inference inputs from these.
+  EXPECT_EQ(source[0], 1.0 / 3.0);
+  EXPECT_EQ(source[1], 0.1234567890123456789);
+  EXPECT_EQ(source[2], 1e-17);
+  EXPECT_EQ(document[0], 2.0 / 7.0);
+  EXPECT_EQ(document[1], 0.30000000000000004);
+}
+
+TEST_F(IoTest, EmptyDatabaseRoundTrips) {
+  const FactDatabase empty;
+  ASSERT_TRUE(SaveFactDatabase(empty, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_sources(), 0u);
+  EXPECT_EQ(loaded.value().num_documents(), 0u);
+  EXPECT_EQ(loaded.value().num_claims(), 0u);
+  EXPECT_EQ(loaded.value().num_cliques(), 0u);
+}
+
+TEST_F(IoTest, UnknownTruthMarkerIsQuestionMark) {
+  FactDatabase db;
+  db.AddSource({"s", {0.5}});
+  db.AddDocument({0, {0.5}});
+  db.AddClaim({"known-true"});
+  db.AddClaim({"unknown"});
+  db.AddClaim({"known-false"});
+  db.SetGroundTruth(0, true);
+  db.SetGroundTruth(2, false);
+  ASSERT_TRUE(db.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(db.AddMention(0, 1, Stance::kSupport).ok());
+  ASSERT_TRUE(db.AddMention(0, 2, Stance::kRefute).ok());
+  ASSERT_TRUE(SaveFactDatabase(db, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().has_ground_truth(0));
+  EXPECT_TRUE(loaded.value().ground_truth(0));
+  EXPECT_FALSE(loaded.value().has_ground_truth(1));
+  EXPECT_TRUE(loaded.value().has_ground_truth(2));
+  EXPECT_FALSE(loaded.value().ground_truth(2));
+}
+
+TEST_F(IoTest, ClaimTextWithSeparatorsRoundTrips) {
+  FactDatabase db;
+  db.AddSource({"tabby\tsource\nsecond line", {0.5}});
+  db.AddDocument({0, {0.5}});
+  db.AddClaim({"line one\nline two\twith\ttabs\r\nand \\backslash\\"});
+  db.AddClaim({""});  // empty text must survive too
+  ASSERT_TRUE(db.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(db.AddMention(0, 1, Stance::kSupport).ok());
+  ASSERT_TRUE(SaveFactDatabase(db, dir_).ok());
+  auto loaded = LoadFactDatabase(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().source(0).name, db.source(0).name);
+  EXPECT_EQ(loaded.value().claim(0).text, db.claim(0).text);
+  EXPECT_EQ(loaded.value().claim(1).text, db.claim(1).text);
+}
+
+TEST(TsvEscapeTest, EscapeUnescapeInverse) {
+  const std::string nasty = "a\tb\nc\rd\\e\\t literal \\\\ done";
+  EXPECT_EQ(UnescapeTsvField(EscapeTsvField(nasty)), nasty);
+  // Escaped form contains no separators.
+  const std::string escaped = EscapeTsvField(nasty);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\r'), std::string::npos);
+}
+
+TEST(TsvEscapeTest, UnknownEscapesAndTrailingBackslashKeptVerbatim) {
+  EXPECT_EQ(UnescapeTsvField("plain"), "plain");
+  EXPECT_EQ(UnescapeTsvField("odd\\x"), "odd\\x");
+  EXPECT_EQ(UnescapeTsvField("trailing\\"), "trailing\\");
+}
+
+TEST(BinaryIoTest, ScalarAndVectorRoundTripIsBitExact) {
+  BinaryWriter writer;
+  writer.U8(0xab);
+  writer.U32(0xdeadbeefu);
+  writer.U64(0x0123456789abcdefull);
+  writer.F64(-0.1234567890123456789);
+  writer.Str("checkpoint \xff bytes\n");
+  writer.VecF64({0.5, -1e-300, 1e300, 0.1 + 0.2});
+  writer.VecU32({3, 1, 4, 1, 5});
+  writer.VecU8({0, 1, 1, 0});
+
+  BinaryReader reader(writer.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double f64 = 0.0;
+  std::string str;
+  std::vector<double> vf;
+  std::vector<uint32_t> vu32;
+  std::vector<uint8_t> vu8;
+  ASSERT_TRUE(reader.U8(&u8).ok());
+  ASSERT_TRUE(reader.U32(&u32).ok());
+  ASSERT_TRUE(reader.U64(&u64).ok());
+  ASSERT_TRUE(reader.F64(&f64).ok());
+  ASSERT_TRUE(reader.Str(&str).ok());
+  ASSERT_TRUE(reader.VecF64(&vf).ok());
+  ASSERT_TRUE(reader.VecU32(&vu32).ok());
+  ASSERT_TRUE(reader.VecU8(&vu8).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  uint64_t want_bits = 0, got_bits = 0;
+  const double want = -0.1234567890123456789;
+  std::memcpy(&want_bits, &want, 8);
+  std::memcpy(&got_bits, &f64, 8);
+  EXPECT_EQ(got_bits, want_bits);
+  EXPECT_EQ(str, "checkpoint \xff bytes\n");
+  EXPECT_EQ(vf, (std::vector<double>{0.5, -1e-300, 1e300, 0.1 + 0.2}));
+  EXPECT_EQ(vu32, (std::vector<uint32_t>{3, 1, 4, 1, 5}));
+  EXPECT_EQ(vu8, (std::vector<uint8_t>{0, 1, 1, 0}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncatedBufferIsRejected) {
+  BinaryWriter writer;
+  writer.VecF64({1.0, 2.0, 3.0});
+  const std::string& full = writer.buffer();
+  BinaryReader reader(full.substr(0, full.size() - 1));
+  std::vector<double> out;
+  EXPECT_EQ(reader.VecF64(&out).code(), StatusCode::kOutOfRange);
+  // A length prefix pointing past the buffer must be caught, not crash.
+  BinaryWriter huge;
+  huge.U64(static_cast<uint64_t>(1) << 62);
+  BinaryReader huge_reader(huge.buffer());
+  EXPECT_EQ(huge_reader.VecF64(&out).code(), StatusCode::kOutOfRange);
 }
 
 TEST_F(IoTest, EmulatedCorpusRoundTrips) {

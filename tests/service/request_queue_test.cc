@@ -1,0 +1,247 @@
+#include "service/request_queue.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "service/service_fixtures.h"
+
+namespace veritas {
+namespace {
+
+using testing::BatchSpec;
+using testing::MakeTinyCorpus;
+
+ServiceRequest AdvanceRequest(SessionId id) {
+  ServiceRequest request;
+  request.kind = RequestKind::kAdvance;
+  request.session = id;
+  return request;
+}
+
+TEST(RequestQueueTest, ExecutesAndDrains) {
+  SessionManager manager;
+  auto corpus = MakeTinyCorpus(31);
+  auto id = manager.Create(corpus.db, BatchSpec(42, 3));
+  ASSERT_TRUE(id.ok());
+
+  RequestQueueOptions options;
+  options.num_workers = 2;
+  RequestQueue queue(&manager, options);
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto submitted = queue.Submit(AdvanceRequest(id.value()));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  queue.Drain();
+  for (auto& future : futures) {
+    const ServiceResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_TRUE(response.step.iteration_completed);
+  }
+  const RequestQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(RequestQueueTest, SameSessionRequestsExecuteInFifoOrder) {
+  SessionManager manager;
+  auto corpus = MakeTinyCorpus(32);
+  auto id = manager.Create(corpus.db, BatchSpec(43, 6));
+  ASSERT_TRUE(id.ok());
+
+  RequestQueueOptions options;
+  options.num_workers = 4;  // more workers than sessions: order must still hold
+  RequestQueue queue(&manager, options);
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto submitted = queue.Submit(AdvanceRequest(id.value()));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  queue.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ServiceResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok());
+    ASSERT_TRUE(response.step.iteration_completed);
+    // Iteration numbers in submission order pin per-session FIFO execution.
+    EXPECT_EQ(response.step.record.iteration, i + 1);
+  }
+}
+
+// The core serving property: guidance steps of DISTINCT sessions overlap.
+// Each step blocks ~250 ms in simulated validator latency; two sessions on
+// two workers must finish in well under the 500 ms a serialized service
+// would need. (Sleep-bound, so the pin holds on a single-core host too.)
+TEST(RequestQueueTest, DistinctSessionsRunInParallel) {
+  SessionManager manager;
+  auto corpus = MakeTinyCorpus(33);
+  SessionSpec spec = BatchSpec(44, 4);
+  spec.user.latency_ms = 250.0;
+  auto first = manager.Create(corpus.db, spec);
+  auto second = manager.Create(corpus.db, spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  RequestQueueOptions options;
+  options.num_workers = 2;
+  RequestQueue queue(&manager, options);
+
+  Stopwatch watch;
+  auto future_a = queue.Submit(AdvanceRequest(first.value()));
+  auto future_b = queue.Submit(AdvanceRequest(second.value()));
+  ASSERT_TRUE(future_a.ok());
+  ASSERT_TRUE(future_b.ok());
+  ASSERT_TRUE(future_a.value().get().status.ok());
+  ASSERT_TRUE(future_b.value().get().status.ok());
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_LT(elapsed, 0.47)
+      << "two 250 ms steps took " << elapsed
+      << " s: sessions were serialized instead of running in parallel";
+}
+
+TEST(RequestQueueTest, AdmissionControlRejectsWhenTheQueueIsFull) {
+  SessionManager manager;
+  auto corpus = MakeTinyCorpus(34);
+  SessionSpec spec = BatchSpec(45, 16);
+  spec.user.latency_ms = 300.0;  // keep the single worker busy
+  auto id = manager.Create(corpus.db, spec);
+  ASSERT_TRUE(id.ok());
+
+  RequestQueueOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  RequestQueue queue(&manager, options);
+
+  // First request: give the worker a moment to take it (it then blocks in
+  // the 300 ms validator sleep, leaving the queue itself empty).
+  auto running = queue.Submit(AdvanceRequest(id.value()));
+  ASSERT_TRUE(running.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Fill the queue to its depth bound...
+  auto queued1 = queue.Submit(AdvanceRequest(id.value()));
+  auto queued2 = queue.Submit(AdvanceRequest(id.value()));
+  ASSERT_TRUE(queued1.ok());
+  ASSERT_TRUE(queued2.ok());
+
+  // ...and the next submit is shed.
+  auto rejected = queue.Submit(AdvanceRequest(id.value()));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  queue.Drain();
+  const RequestQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_LE(stats.peak_depth, 2u);
+}
+
+// Running the same sessions through a 4-worker queue and through plain
+// serial calls must produce identical posteriors: concurrency must not leak
+// into the inference streams.
+TEST(RequestQueueTest, ConcurrentSessionsMatchSerialExecutionBitForBit) {
+  auto corpus = MakeTinyCorpus(35);
+  constexpr int kSessions = 4;
+  constexpr int kSteps = 4;
+
+  // Serial reference.
+  std::vector<std::vector<double>> reference;
+  {
+    SessionManager manager;
+    for (uint64_t s = 0; s < kSessions; ++s) {
+      auto id = manager.Create(corpus.db, BatchSpec(200 + s, kSteps));
+      ASSERT_TRUE(id.ok());
+      for (int i = 0; i < kSteps; ++i) ASSERT_TRUE(manager.Advance(id.value()).ok());
+      auto view = manager.Ground(id.value());
+      ASSERT_TRUE(view.ok());
+      reference.push_back(view.value().probs);
+    }
+  }
+
+  // Concurrent run: all sessions' steps interleave across 4 workers.
+  SessionManager manager;
+  std::vector<SessionId> ids;
+  for (uint64_t s = 0; s < kSessions; ++s) {
+    auto id = manager.Create(corpus.db, BatchSpec(200 + s, kSteps));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  RequestQueueOptions options;
+  options.num_workers = 4;
+  RequestQueue queue(&manager, options);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < kSteps; ++i) {
+    for (const SessionId id : ids) {
+      auto submitted = queue.Submit(AdvanceRequest(id));
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+  }
+  queue.Drain();
+  for (auto& future : futures) ASSERT_TRUE(future.get().status.ok());
+
+  for (size_t s = 0; s < ids.size(); ++s) {
+    auto view = manager.Ground(ids[s]);
+    ASSERT_TRUE(view.ok());
+    const std::vector<double>& got = view.value().probs;
+    ASSERT_EQ(reference[s].size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      uint64_t bits_ref = 0, bits_got = 0;
+      std::memcpy(&bits_ref, &reference[s][i], 8);
+      std::memcpy(&bits_got, &got[i], 8);
+      ASSERT_EQ(bits_ref, bits_got)
+          << "session " << s << " diverged under concurrency";
+    }
+  }
+}
+
+TEST(RequestQueueTest, TerminateAndGroundFlowThroughTheQueue) {
+  SessionManager manager;
+  auto corpus = MakeTinyCorpus(36);
+  auto id = manager.Create(corpus.db, BatchSpec(46, 2));
+  ASSERT_TRUE(id.ok());
+
+  RequestQueueOptions options;
+  options.num_workers = 1;
+  RequestQueue queue(&manager, options);
+
+  auto advance = queue.Submit(AdvanceRequest(id.value()));
+  ServiceRequest ground;
+  ground.kind = RequestKind::kGround;
+  ground.session = id.value();
+  auto grounded = queue.Submit(ground);
+  ServiceRequest terminate;
+  terminate.kind = RequestKind::kTerminate;
+  terminate.session = id.value();
+  auto terminated = queue.Submit(terminate);
+  ASSERT_TRUE(advance.ok());
+  ASSERT_TRUE(grounded.ok());
+  ASSERT_TRUE(terminated.ok());
+
+  ASSERT_TRUE(advance.value().get().status.ok());
+  const ServiceResponse ground_response = grounded.value().get();
+  ASSERT_TRUE(ground_response.status.ok());
+  EXPECT_EQ(ground_response.grounding.num_claims, corpus.db.num_claims());
+  const ServiceResponse outcome_response = terminated.value().get();
+  ASSERT_TRUE(outcome_response.status.ok());
+  EXPECT_EQ(outcome_response.outcome.validations, 1u);
+
+  // The session is gone; further requests surface NotFound through the
+  // response status, not the submission.
+  auto late = queue.Submit(AdvanceRequest(id.value()));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.value().get().status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace veritas
