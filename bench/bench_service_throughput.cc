@@ -14,12 +14,23 @@
 // Reported per worker count: completed steps/s, completed sessions/s, p50
 // and p99 request latency (queue wait + service), and admission-control
 // sheds. The shape check pins >= 3x step throughput at 4 workers vs 1.
+//
+// --socket switches to the wire-overhead mode (DESIGN.md §10): the same
+// batch session driven twice with identical seeds — once in-process through
+// the GuidanceApi dispatch + one-worker RequestQueue (no JSON, no socket),
+// once through the JSON-over-TCP loopback API on the same stack — plus a
+// codec-only microbenchmark, reporting the per-step cost the protocol adds
+// on top of step compute. bench_report.sh records the "# socket" footers
+// into BENCH_guidance.json.
 
 #include <algorithm>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "api/client.h"
+#include "api/codec.h"
+#include "api/server.h"
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
 #include "service/request_queue.h"
@@ -200,15 +211,140 @@ RunResult RunWorkload(const EmulatedCorpus& corpus, const WorkloadSpec& work,
   return result;
 }
 
+/// Wire-overhead mode: per-step cost of codec + loopback transport,
+/// measured against the identically-seeded in-process run.
+int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
+  const size_t budget = 8;
+
+  // 1. In-process reference: the same GuidanceApi dispatch through an
+  //    identically-configured one-worker RequestQueue, zero-latency oracle —
+  //    everything the loopback run does EXCEPT the JSON codec and the
+  //    socket, so the delta to (2) is pure codec + transport, not queue
+  //    handoff or dispatch.
+  double in_process_ms = 0.0;
+  StepResult sample_step;
+  {
+    SessionManager manager;
+    RequestQueueOptions queue_options;
+    queue_options.num_workers = 1;
+    RequestQueue queue(&manager, queue_options);
+    GuidanceApi api(&manager, &queue);
+    auto id = manager.Create(corpus.db, ServiceBatchSpec(seed, budget, 0.0));
+    if (!id.ok()) {
+      std::cerr << "create failed: " << id.status() << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    size_t steps = 0;
+    for (; steps < budget; ++steps) {
+      ApiRequest request;
+      request.params = AdvanceRequest{id.value()};
+      ApiResponse response = api.Handle(request);
+      const StepResponse* step = std::get_if<StepResponse>(&response.result);
+      if (step == nullptr || step->step.done) break;
+      sample_step = step->step;
+    }
+    if (steps == 0) {
+      std::cerr << "no steps completed\n";
+      return 1;
+    }
+    in_process_ms = watch.ElapsedSeconds() * 1e3 / static_cast<double>(steps);
+  }
+
+  // 2. The same session (same seed, same spec) through the loopback wire:
+  //    encode request -> TCP -> decode -> step -> encode response -> TCP ->
+  //    decode, on a dispatch + queue stack identical to (1).
+  double loopback_ms = 0.0;
+  {
+    SessionManager manager;
+    RequestQueueOptions queue_options;
+    queue_options.num_workers = 1;
+    RequestQueue queue(&manager, queue_options);
+    GuidanceApi api(&manager, &queue);
+    auto server = ApiServer::Start(&api);
+    if (!server.ok()) {
+      std::cerr << "server start failed: " << server.status() << "\n";
+      return 1;
+    }
+    auto client = ApiClient::Connect("127.0.0.1", server.value()->port());
+    if (!client.ok()) {
+      std::cerr << "connect failed: " << client.status() << "\n";
+      return 1;
+    }
+    auto id = client.value()->CreateSession(corpus.db,
+                                            ServiceBatchSpec(seed, budget, 0.0));
+    if (!id.ok()) {
+      std::cerr << "wire create failed: " << id.status() << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    size_t steps = 0;
+    for (; steps < budget; ++steps) {
+      auto step = client.value()->Advance(id.value());
+      if (!step.ok() || step.value().done) break;
+    }
+    if (steps == 0) {
+      std::cerr << "no wire steps completed\n";
+      return 1;
+    }
+    loopback_ms = watch.ElapsedSeconds() * 1e3 / static_cast<double>(steps);
+    server.value()->Stop();
+  }
+
+  // 3. Codec alone: encode + decode of a representative StepResponse.
+  ApiResponse response;
+  response.result = StepResponse{sample_step};
+  auto encoded = EncodeResponse(response);
+  if (!encoded.ok()) {
+    std::cerr << "encode failed: " << encoded.status() << "\n";
+    return 1;
+  }
+  const size_t response_bytes = encoded.value().size();
+  const size_t codec_reps = 500;
+  Stopwatch codec_watch;
+  for (size_t i = 0; i < codec_reps; ++i) {
+    auto text = EncodeResponse(response);
+    auto back = DecodeResponse(text.value());
+    if (!back.ok()) {
+      std::cerr << "decode failed: " << back.status() << "\n";
+      return 1;
+    }
+  }
+  const double codec_us =
+      codec_watch.ElapsedSeconds() * 1e6 / static_cast<double>(codec_reps);
+
+  const double overhead_ms = loopback_ms - in_process_ms;
+  TextTable table;
+  table.SetHeader({"mode", "ms/step"});
+  table.AddNumericRow("in_process", {in_process_ms}, 3);
+  table.AddNumericRow("loopback", {loopback_ms}, 3);
+  table.Print(std::cout);
+  std::cout << "# socket in_process_ms_per_step = " << in_process_ms << "\n";
+  std::cout << "# socket loopback_ms_per_step = " << loopback_ms << "\n";
+  std::cout << "# socket overhead_ms_per_step = " << overhead_ms << "\n";
+  std::cout << "# socket codec_us_per_roundtrip = " << codec_us << "\n";
+  std::cout << "# socket step_response_bytes = " << response_bytes << "\n";
+
+  // Protocol tax must stay small next to step compute: the serving layer's
+  // bottleneck is inference + validator think time, not JSON-over-loopback.
+  const double limit_ms = std::max(2.0, 0.5 * in_process_ms);
+  PrintShapeCheck(overhead_ms <= limit_ms,
+                  "codec+transport overhead per step stays below "
+                  "max(2ms, 50% of step compute)");
+  return overhead_ms <= limit_ms ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
   WorkloadSpec work;
+  bool socket_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--latency=", 0) == 0) work.latency_ms = std::stod(arg.substr(10));
     if (arg.rfind("--steps=", 0) == 0) {
       work.steps_per_batch_session = static_cast<size_t>(std::stoul(arg.substr(8)));
     }
+    if (arg == "--socket") socket_mode = true;
   }
 
   // A small corpus per session: the service regime is many light sessions,
@@ -219,6 +355,13 @@ int Main(int argc, char** argv) {
   if (!corpus.ok()) {
     std::cerr << "corpus generation failed: " << corpus.status() << "\n";
     return 1;
+  }
+
+  if (socket_mode) {
+    std::cout << "Wire-overhead mode - one batch session, in-process vs "
+                 "JSON-over-TCP loopback ("
+              << corpus.value().db.num_claims() << " claims)\n";
+    return RunSocketMode(corpus.value(), args.seed);
   }
 
   const double step_seconds = CalibrateStepSeconds(corpus.value(), args.seed);

@@ -1,0 +1,59 @@
+// Shared argv parsing for the example binaries: strict numeric parsing that
+// reports malformed input instead of letting std::stoul throw, plus
+// --flag=value splitting. Examples print their usage line and exit(2) on
+// the first bad argument.
+
+#ifndef VERITAS_EXAMPLES_EXAMPLE_ARGS_H_
+#define VERITAS_EXAMPLES_EXAMPLE_ARGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace veritas {
+namespace examples {
+
+/// Parses a non-negative decimal integer; false on empty/garbage/overflow.
+inline bool ParseSize(const std::string& text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+inline bool ParseUint16(const std::string& text, uint16_t* out) {
+  size_t value = 0;
+  if (!ParseSize(text, &value) || value > UINT16_MAX) return false;
+  *out = static_cast<uint16_t>(value);
+  return true;
+}
+
+/// True when `arg` is --name=...; `value` receives the part after '='.
+inline bool FlagValue(const std::string& arg, const std::string& name,
+                      std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Prints `usage`, flags the offending argument, and exits(2).
+[[noreturn]] inline void UsageError(const std::string& program,
+                                    const std::string& usage,
+                                    const std::string& bad_arg) {
+  std::cerr << program << ": invalid argument \"" << bad_arg << "\"\n"
+            << "usage: " << program << " " << usage << "\n";
+  std::exit(2);
+}
+
+}  // namespace examples
+}  // namespace veritas
+
+#endif  // VERITAS_EXAMPLES_EXAMPLE_ARGS_H_

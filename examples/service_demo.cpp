@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "data/emulator.h"
+#include "examples/example_args.h"
 #include "service/checkpoint.h"
 #include "service/request_queue.h"
 #include "service/session_manager.h"
@@ -20,8 +21,18 @@
 using namespace veritas;
 
 int main(int argc, char** argv) {
-  const size_t num_sessions = argc > 1 ? std::stoul(argv[1]) : 4;
-  const size_t num_workers = argc > 2 ? std::stoul(argv[2]) : 2;
+  constexpr char kUsage[] = "[sessions] [workers]";
+  size_t num_sessions = 4;
+  size_t num_workers = 2;
+  if (argc > 1 && (!examples::ParseSize(argv[1], &num_sessions) ||
+                   num_sessions == 0)) {
+    examples::UsageError(argv[0], kUsage, argv[1]);
+  }
+  if (argc > 2 &&
+      (!examples::ParseSize(argv[2], &num_workers) || num_workers == 0)) {
+    examples::UsageError(argv[0], kUsage, argv[2]);
+  }
+  if (argc > 3) examples::UsageError(argv[0], kUsage, argv[3]);
 
   // 1. One emulated corpus per checker — every session owns an independent
   //    database, engine and simulated validator.

@@ -1,0 +1,161 @@
+// veritas_client: drives one fact-checking session over the wire protocol
+// (DESIGN.md §10) against a running veritas_server. Plays the paper's
+// deployment shape end to end: the SERVER runs grounding/inference/guidance
+// and asks; the CLIENT (standing in for the human validator) answers from
+// the emulated corpus's ground truth. No veritas session state lives on
+// this side of the socket — only the protocol.
+//
+//   ./examples/example_veritas_client [--host=H] [--port=N] [--claims=N]
+//                                     [--budget=N] [--seed=N]
+
+#include <iostream>
+#include <string>
+
+#include "api/client.h"
+#include "common/rng.h"
+#include "data/emulator.h"
+#include "examples/example_args.h"
+
+using namespace veritas;
+using examples::FlagValue;
+using examples::ParseSize;
+using examples::ParseUint16;
+using examples::UsageError;
+
+namespace {
+
+constexpr char kUsage[] =
+    "[--host=H] [--port=N] [--claims=N] [--budget=N] [--seed=N]";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 4877;
+  size_t claims = 20;
+  size_t budget = 5;
+  size_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (FlagValue(arg, "host", &value)) {
+      host = value;
+    } else if (FlagValue(arg, "port", &value)) {
+      if (!ParseUint16(value, &port)) UsageError(argv[0], kUsage, arg);
+    } else if (FlagValue(arg, "claims", &value)) {
+      if (!ParseSize(value, &claims) || claims == 0) {
+        UsageError(argv[0], kUsage, arg);
+      }
+    } else if (FlagValue(arg, "budget", &value)) {
+      if (!ParseSize(value, &budget) || budget == 0) {
+        UsageError(argv[0], kUsage, arg);
+      }
+    } else if (FlagValue(arg, "seed", &value)) {
+      if (!ParseSize(value, &seed)) UsageError(argv[0], kUsage, arg);
+    } else {
+      UsageError(argv[0], kUsage, arg);
+    }
+  }
+
+  // The corpus the client wants checked; it ships to the server inside
+  // CreateSessionRequest. Ground truth rides along only to let this demo
+  // play the validator — a real frontend would ask a human instead.
+  CorpusSpec spec;
+  spec.name = "client-corpus";
+  spec.num_claims = claims;
+  spec.num_documents = 5 * claims;
+  spec.num_sources = 2 * claims;
+  Rng rng(seed);
+  auto corpus = GenerateCorpus(spec, &rng);
+  if (!corpus.ok()) {
+    std::cerr << "corpus generation failed: " << corpus.status() << "\n";
+    return 1;
+  }
+  const FactDatabase& db = corpus.value().db;
+
+  auto connected = ApiClient::Connect(host, port);
+  if (!connected.ok()) {
+    std::cerr << "cannot connect to " << host << ":" << port << ": "
+              << connected.status() << "\n";
+    return 1;
+  }
+  ApiClient& client = *connected.value();
+
+  // External-answer session: the server plans, this process answers.
+  SessionSpec session_spec;
+  session_spec.mode = SessionMode::kBatch;
+  session_spec.validation.budget = budget;
+  session_spec.validation.guidance.variant = GuidanceVariant::kScalable;
+  session_spec.validation.guidance.candidate_pool = 16;
+  session_spec.validation.seed = seed;
+  session_spec.user.kind = UserSpec::Kind::kNone;
+  auto session = client.CreateSession(db, session_spec);
+  if (!session.ok()) {
+    std::cerr << "create_session failed: " << session.status() << "\n";
+    return 1;
+  }
+  std::cout << "session " << session.value() << " created over the wire ("
+            << claims << " claims, budget " << budget << ")\n";
+  std::cout << "iter  claim  verdict  precision  entropy\n";
+
+  for (;;) {
+    auto advanced = client.Advance(session.value());
+    if (!advanced.ok()) {
+      std::cerr << "advance failed: " << advanced.status() << "\n";
+      return 1;
+    }
+    if (advanced.value().done) {
+      std::cout << "done: " << advanced.value().stop_reason << "\n";
+      break;
+    }
+    if (!advanced.value().awaiting_answers) continue;
+    // The validator's turn: answer the elicited claims from ground truth —
+    // the whole batch when the server planned one, else the top candidate.
+    const StepResult& pending = advanced.value();
+    StepAnswers answers;
+    const size_t count = pending.batch ? pending.candidates.size() : 1;
+    for (size_t i = 0; i < count && i < pending.candidates.size(); ++i) {
+      const ClaimId claim = pending.candidates[i];
+      answers.claims.push_back(claim);
+      answers.answers.push_back(
+          db.has_ground_truth(claim) && db.ground_truth(claim) ? 1 : 0);
+    }
+    auto answered = client.Answer(session.value(), answers);
+    if (!answered.ok()) {
+      std::cerr << "answer failed: " << answered.status() << "\n";
+      return 1;
+    }
+    if (answered.value().iteration_completed) {
+      const IterationRecord& record = answered.value().record;
+      std::cout << record.iteration << "     "
+                << (record.claims.empty() ? 0 : record.claims.front())
+                << "      "
+                << (record.answers.empty() ? 0 : record.answers.front())
+                << "        " << record.precision << "      " << record.entropy
+                << "\n";
+    }
+  }
+
+  auto view = client.Ground(session.value());
+  if (!view.ok()) {
+    std::cerr << "ground failed: " << view.status() << "\n";
+    return 1;
+  }
+  auto stats = client.Stats();
+  if (!stats.ok()) {
+    std::cerr << "stats failed: " << stats.status() << "\n";
+    return 1;
+  }
+  auto outcome = client.Terminate(session.value());
+  if (!outcome.ok()) {
+    std::cerr << "terminate failed: " << outcome.status() << "\n";
+    return 1;
+  }
+  std::cout << "final precision " << view.value().precision << " ("
+            << view.value().labeled << "/" << view.value().num_claims
+            << " labeled); server served " << stats.value().stats.steps_served
+            << " steps across " << stats.value().stats.sessions_created
+            << " sessions; outcome: " << outcome.value().validations
+            << " validations, stop=\"" << outcome.value().stop_reason << "\"\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// veritas_server: hosts the guidance service behind the wire-level API
+// (DESIGN.md §10) — a SessionManager + RequestQueue worker pool fronted by
+// the length-prefix-framed JSON protocol on a loopback TCP port. Pair it
+// with examples/veritas_client (or any client speaking the protocol) to
+// drive fact-checking sessions from another process.
+//
+//   ./examples/example_veritas_server [--port=N] [--port-file=PATH]
+//                                     [--workers=N] [--once]
+//
+//   --port=N        TCP port to listen on (default 0 = ephemeral; the
+//                   assigned port is printed and written to --port-file)
+//   --port-file=P   write the bound port to file P (for scripts)
+//   --workers=N     RequestQueue worker threads (default 2)
+//   --once          exit after the first client disconnects (CI smoke)
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "api/server.h"
+#include "examples/example_args.h"
+
+using namespace veritas;
+using examples::FlagValue;
+using examples::ParseSize;
+using examples::ParseUint16;
+using examples::UsageError;
+
+namespace {
+
+constexpr char kUsage[] = "[--port=N] [--port-file=PATH] [--workers=N] [--once]";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  std::string port_file;
+  size_t workers = 2;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (FlagValue(arg, "port", &value)) {
+      if (!ParseUint16(value, &port)) UsageError(argv[0], kUsage, arg);
+    } else if (FlagValue(arg, "port-file", &value)) {
+      port_file = value;
+    } else if (FlagValue(arg, "workers", &value)) {
+      if (!ParseSize(value, &workers) || workers == 0) {
+        UsageError(argv[0], kUsage, arg);
+      }
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      UsageError(argv[0], kUsage, arg);
+    }
+  }
+
+  SessionManager manager;
+  RequestQueueOptions queue_options;
+  queue_options.num_workers = workers;
+  RequestQueue queue(&manager, queue_options);
+  GuidanceApi api(&manager, &queue);
+
+  ApiServerOptions server_options;
+  server_options.port = port;
+  auto server = ApiServer::Start(&api, server_options);
+  if (!server.ok()) {
+    std::cerr << "server start failed: " << server.status() << "\n";
+    return 1;
+  }
+  std::cout << "veritas_server listening on 127.0.0.1:"
+            << server.value()->port() << " (" << workers << " workers, api v"
+            << kApiVersion << ")\n";
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) {
+      std::cerr << "cannot write port file " << port_file << "\n";
+      return 1;
+    }
+    out << server.value()->port() << "\n";
+  }
+
+  if (once) {
+    server.value()->WaitForConnections(1);
+    const ServiceStats stats = manager.stats();
+    std::cout << "served 1 connection (" << stats.steps_served
+              << " steps, " << stats.sessions_created
+              << " sessions created); exiting\n";
+    server.value()->Stop();
+    return 0;
+  }
+  std::cout << "serving until interrupted (Ctrl-C)\n";
+  server.value()->WaitForConnections(SIZE_MAX);  // blocks forever
+  return 0;
+}

@@ -2,10 +2,11 @@
 # Guidance-latency perf report: runs bench_fig02_response_time (default
 # scale — the paper's per-iteration response time, Fig. 2), the
 # multi-session service throughput bench (bench_service_throughput: open-
-# loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9) plus the
-# HypotheticalEngine micro-kernels from bench_micro_kernels (when Google
-# Benchmark is available), and emits BENCH_guidance.json next to the repo
-# root. The committed scripts/bench_baseline_fig02.json (pre-refactor
+# loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9), its --socket
+# wire-overhead mode (per-step codec+transport cost of the JSON-over-TCP
+# loopback API, DESIGN.md §10) plus the HypotheticalEngine micro-kernels
+# from bench_micro_kernels (when Google Benchmark is available), and emits
+# BENCH_guidance.json next to the repo root. The committed scripts/bench_baseline_fig02.json (pre-refactor
 # capture) is embedded so every future PR has a perf trajectory to compare
 # against.
 #
@@ -57,6 +58,22 @@ service_rows="$(awk '
 service_scaling="$(awk '/^# scaling 4w\/1w = / { gsub(/x$/, "", $5); print $5 }' "$service_txt")"
 service_scaling="${service_scaling:-null}"
 
+# Wire protocol overhead (bench_service_throughput --socket, DESIGN.md §10):
+# per-step codec+transport cost of the JSON-over-TCP loopback API relative
+# to driving the same session in-process.
+socket_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt" "$service_txt" "$socket_txt"' EXIT
+"$build_dir"/bench/bench_service_throughput --socket | tee "$socket_txt"
+
+socket_field() {
+  awk -v key="$1" '$0 ~ "^# socket " key " = " { print $NF }' "$socket_txt"
+}
+socket_in_process="$(socket_field in_process_ms_per_step)"
+socket_loopback="$(socket_field loopback_ms_per_step)"
+socket_overhead="$(socket_field overhead_ms_per_step)"
+socket_codec_us="$(socket_field codec_us_per_roundtrip)"
+socket_bytes="$(socket_field step_response_bytes)"
+
 # Micro-kernels (optional: needs Google Benchmark at configure time).
 micro_json="null"
 if cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_kernels \
@@ -92,6 +109,14 @@ fi
   echo "    \"rows\": ["
   printf '%s\n' "$service_rows"
   echo "    ]"
+  echo "  },"
+  echo "  \"wire_api_overhead\": {"
+  echo "    \"workload\": \"one batch session, in-process vs JSON-over-TCP loopback (bench_service_throughput --socket)\","
+  echo "    \"in_process_ms_per_step\": ${socket_in_process:-null},"
+  echo "    \"loopback_ms_per_step\": ${socket_loopback:-null},"
+  echo "    \"codec_transport_overhead_ms_per_step\": ${socket_overhead:-null},"
+  echo "    \"codec_us_per_roundtrip\": ${socket_codec_us:-null},"
+  echo "    \"step_response_bytes\": ${socket_bytes:-null}"
   echo "  },"
   echo "  \"pre_refactor_baseline\": $baseline_json,"
   echo "  \"micro_kernels\": $micro_json"

@@ -6,20 +6,84 @@
 # Usage: scripts/check.sh [build-dir]          (default: build)
 #        ASAN=1 scripts/check.sh [build-dir]   (default: build-asan)
 #        TSAN=1 scripts/check.sh [build-dir]   (default: build-tsan)
+#        SMOKE=1 scripts/check.sh [build-dir]  (loopback smoke only; the
+#                                               build dir must be configured)
+#        SMOKE=0 scripts/check.sh [build-dir]  (skip the smoke — for CI,
+#                                               which runs it as its own step)
+#
+# The default path ends with the server/client loopback smoke: a
+# veritas_server on an ephemeral port driven by a veritas_client session
+# over the wire protocol (DESIGN.md §10).
 #
 # ASAN=1 builds with Address + UndefinedBehavior sanitizers and runs the
 # crf/ and core/ suites — the ones exercising the HypotheticalEngine
 # scratch-buffer pooling and the CSR adjacency — so buffer reuse stays
 # leak- and UB-clean.
 #
-# TSAN=1 builds with ThreadSanitizer and runs the service/ and crf/ suites —
-# the ones exercising the SessionManager's per-session locking, the
-# RequestQueue worker pool and the HypotheticalEngine's striped caches — so
-# the concurrent serving path stays race-clean.
+# TSAN=1 builds with ThreadSanitizer and runs the service/, api/ and crf/
+# suites — the ones exercising the SessionManager's per-session locking,
+# the RequestQueue worker pool, the ApiServer's accept/handler threads and
+# the HypotheticalEngine's striped caches — so the concurrent serving path
+# stays race-clean.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# Server/client loopback smoke: start veritas_server on an ephemeral port,
+# drive one external-answer session through veritas_client over the wire,
+# and require both processes to exit cleanly.
+run_smoke() {
+  local build_dir="$1"
+  echo "== loopback smoke (veritas_server + veritas_client)"
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target example_veritas_server example_veritas_client > /dev/null
+  local port_file
+  port_file="$(mktemp)"
+  rm -f "$port_file"
+  "$build_dir"/examples/example_veritas_server \
+    --port=0 --port-file="$port_file" --once &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$port_file" ]]; then
+    echo "smoke: server never published its port" >&2
+    kill "$server_pid" 2> /dev/null || true
+    return 1
+  fi
+  local status=0
+  # Bounded: a wedged server (accepts but never responds) would otherwise
+  # hang the blocking client — and this CI step — forever.
+  timeout 60 "$build_dir"/examples/example_veritas_client \
+    --port="$(cat "$port_file")" --claims=12 --budget=3 || status=1
+  # A --once server only exits after serving a full connection; if the
+  # client failed before connecting, kill it after a deadline instead of
+  # hanging the CI job on `wait`.
+  local waited=0
+  while kill -0 "$server_pid" 2> /dev/null && (( waited < 100 )); do
+    sleep 0.1
+    waited=$((waited + 1))
+  done
+  if kill -0 "$server_pid" 2> /dev/null; then
+    echo "smoke: server still running after deadline; killing" >&2
+    kill "$server_pid" 2> /dev/null || true
+    status=1
+  fi
+  wait "$server_pid" || status=1
+  rm -f "$port_file"
+  if [[ "$status" != 0 ]]; then
+    echo "smoke: FAILED" >&2
+    return 1
+  fi
+  echo "smoke: PASS"
+}
+
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  run_smoke "${1:-build}"
+  exit
+fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then
   build_dir="${1:-build-tsan}"
@@ -31,8 +95,10 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$build_dir" -j "$(nproc)"
   status=0
-  for suite in "$build_dir"/tests/service_*_test "$build_dir"/tests/crf_*_test \
-               "$build_dir"/tests/common_thread_pool_test; do
+  for suite in "$build_dir"/tests/service_*_test "$build_dir"/tests/api_*_test \
+               "$build_dir"/tests/crf_*_test \
+               "$build_dir"/tests/common_thread_pool_test \
+               "$build_dir"/tests/common_socket_test; do
     echo "== ${suite##*/}"
     TSAN_OPTIONS=halt_on_error=1 "$suite" --gtest_brief=1 || status=1
   done
@@ -61,5 +127,7 @@ build_dir="${1:-build}"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc)"
-cd "$build_dir"
-ctest --output-on-failure -j "$(nproc)"
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+if [[ "${SMOKE:-}" != "0" ]]; then
+  run_smoke "$build_dir"
+fi

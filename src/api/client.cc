@@ -1,0 +1,116 @@
+#include "api/client.h"
+
+#include <utility>
+
+#include "api/codec.h"
+
+namespace veritas {
+
+namespace {
+
+/// Folds an error alternative back into its Status; otherwise extracts the
+/// expected payload (a mismatched payload type is a protocol violation).
+template <typename T>
+Result<T> Expect(Result<ApiResponse> response) {
+  if (!response.ok()) return response.status();
+  ApiResponse& envelope = response.value();
+  if (const ErrorResponse* error = std::get_if<ErrorResponse>(&envelope.result)) {
+    return ToStatus(*error);
+  }
+  if (T* payload = std::get_if<T>(&envelope.result)) {
+    return std::move(*payload);
+  }
+  return Status::Internal("ApiClient: unexpected response payload type");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ApiClient>> ApiClient::Connect(const std::string& host,
+                                                      uint16_t port) {
+  auto socket = Socket::ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  return std::unique_ptr<ApiClient>(new ApiClient(std::move(socket).value()));
+}
+
+Result<ApiResponse> ApiClient::Call(ApiRequest request) {
+  request.id = next_id_++;
+  auto encoded = EncodeRequest(request);
+  if (!encoded.ok()) return encoded.status();
+  VERITAS_RETURN_IF_ERROR(WriteFrame(socket_, encoded.value()));
+  auto frame = ReadFrame(socket_);
+  if (!frame.ok()) return frame.status();
+  auto response = DecodeResponse(frame.value());
+  if (!response.ok()) return response.status();
+  if (response.value().id != request.id) {
+    return Status::Internal("ApiClient: response id " +
+                            std::to_string(response.value().id) +
+                            " does not match request id " +
+                            std::to_string(request.id));
+  }
+  return response;
+}
+
+Result<SessionId> ApiClient::CreateSession(const FactDatabase& db,
+                                           const SessionSpec& spec) {
+  ApiRequest request;
+  request.params = CreateSessionRequest{db, spec};
+  auto response = Expect<CreateSessionResponse>(Call(std::move(request)));
+  if (!response.ok()) return response.status();
+  return response.value().session;
+}
+
+Result<StepResult> ApiClient::Advance(SessionId session) {
+  ApiRequest request;
+  request.params = AdvanceRequest{session};
+  auto response = Expect<StepResponse>(Call(std::move(request)));
+  if (!response.ok()) return response.status();
+  return std::move(response).value().step;
+}
+
+Result<StepResult> ApiClient::Answer(SessionId session,
+                                     const StepAnswers& answers) {
+  ApiRequest request;
+  request.params = AnswerRequest{session, answers};
+  auto response = Expect<StepResponse>(Call(std::move(request)));
+  if (!response.ok()) return response.status();
+  return std::move(response).value().step;
+}
+
+Result<GroundingView> ApiClient::Ground(SessionId session) {
+  ApiRequest request;
+  request.params = GroundRequest{session};
+  auto response = Expect<GroundResponse>(Call(std::move(request)));
+  if (!response.ok()) return response.status();
+  return std::move(response).value().view;
+}
+
+Status ApiClient::Checkpoint(SessionId session, const std::string& directory) {
+  ApiRequest request;
+  request.params = CheckpointRequest{session, directory};
+  auto response = Expect<CheckpointResponse>(Call(std::move(request)));
+  return response.status();
+}
+
+Result<SessionId> ApiClient::Restore(const std::string& directory) {
+  ApiRequest request;
+  request.params = RestoreRequest{directory};
+  auto response = Expect<RestoreResponse>(Call(std::move(request)));
+  if (!response.ok()) return response.status();
+  return response.value().session;
+}
+
+Result<StatsResponse> ApiClient::Stats() {
+  ApiRequest request;
+  request.params = StatsRequest{};
+  return Expect<StatsResponse>(Call(std::move(request)));
+}
+
+Result<ValidationOutcome> ApiClient::Terminate(SessionId session) {
+  ApiRequest request;
+  request.params = TerminateRequest{session};
+  auto response = Expect<TerminateResponse>(Call(std::move(request)));
+  if (!response.ok()) return response.status();
+  return std::move(response).value().outcome;
+}
+
+}  // namespace veritas

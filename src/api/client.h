@@ -1,0 +1,52 @@
+/// \file
+/// Blocking client of the wire-level guidance API (DESIGN.md §10): one TCP
+/// connection, one request in flight, each typed call encoding a request
+/// frame, reading the response frame and mapping a tagged ErrorResponse
+/// back into the exact Status the server produced — so code driving a
+/// remote session reads the same as code driving a SessionManager
+/// in-process. Not internally synchronized: one ApiClient per thread (or
+/// external locking); open several connections for parallelism.
+
+#ifndef VERITAS_API_CLIENT_H_
+#define VERITAS_API_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "api/wire.h"
+#include "common/socket.h"
+
+namespace veritas {
+
+class ApiClient {
+ public:
+  static Result<std::unique_ptr<ApiClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+
+  /// Raw call: assigns a correlation id, sends one frame, blocks for the
+  /// response frame. Transport and decode failures surface here; an
+  /// application-level failure arrives as an ApiResponse holding an
+  /// ErrorResponse (use the typed wrappers to fold it into Status).
+  Result<ApiResponse> Call(ApiRequest request);
+
+  // Typed wrappers: the remote mirror of the SessionManager surface.
+  Result<SessionId> CreateSession(const FactDatabase& db,
+                                  const SessionSpec& spec);
+  Result<StepResult> Advance(SessionId session);
+  Result<StepResult> Answer(SessionId session, const StepAnswers& answers);
+  Result<GroundingView> Ground(SessionId session);
+  Status Checkpoint(SessionId session, const std::string& directory);
+  Result<SessionId> Restore(const std::string& directory);
+  Result<StatsResponse> Stats();
+  Result<ValidationOutcome> Terminate(SessionId session);
+
+ private:
+  explicit ApiClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_API_CLIENT_H_

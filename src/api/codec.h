@@ -1,0 +1,75 @@
+/// \file
+/// JSON codec of the wire protocol (DESIGN.md §10): encodes/decodes the
+/// api/wire.h envelopes and every embedded message, field by field, with
+/// lossless round trips — 64-bit integers stay exact decimals, doubles are
+/// emitted at max_digits10 and re-parsed bit-for-bit, free text goes
+/// through api/json.h escaping (the JSON analogue of data/io's TSV
+/// escaping rules), and non-finite doubles are rejected at encode time.
+/// Decoders ignore unknown JSON members (forward compatibility) and
+/// surface malformed input — truncated documents, type mismatches, unknown
+/// methods, version mismatches — as Status errors, never undefined
+/// behavior.
+///
+/// The sub-message codecs are exported so the round-trip property tests
+/// can hammer each message in isolation; production code uses only the
+/// four envelope functions.
+
+#ifndef VERITAS_API_CODEC_H_
+#define VERITAS_API_CODEC_H_
+
+#include <string>
+
+#include "api/json.h"
+#include "api/wire.h"
+
+namespace veritas {
+
+/// Renders a request envelope:
+///   {"api_version":1,"id":7,"method":"advance","params":{...}}
+Result<std::string> EncodeRequest(const ApiRequest& request);
+
+/// Parses a request envelope. `id_out` (optional) receives the correlation
+/// id as soon as the envelope yields one — even when decoding then fails —
+/// so servers can address their ErrorResponse. Rejects a missing or
+/// mismatched api_version (kFailedPrecondition) and unknown methods
+/// (kUnimplemented).
+Result<ApiRequest> DecodeRequest(const std::string& json,
+                                 uint64_t* id_out = nullptr);
+
+/// Renders a response envelope:
+///   {"api_version":1,"id":7,"ok":true,"result_type":"step","result":{...}}
+///   {"api_version":1,"id":7,"ok":false,"error":{"code":2,
+///    "status":"NotFound","message":"..."}}
+Result<std::string> EncodeResponse(const ApiResponse& response);
+
+/// Parses a response envelope (the client half).
+Result<ApiResponse> DecodeResponse(const std::string& json);
+
+// ---- sub-message codecs (exported for the property tests) ------------------
+
+void EncodeFactDatabase(const FactDatabase& db, JsonWriter* writer);
+Status DecodeFactDatabase(const JsonValue& value, FactDatabase* db);
+
+void EncodeSessionSpec(const SessionSpec& spec, JsonWriter* writer);
+Status DecodeSessionSpec(const JsonValue& value, SessionSpec* spec);
+
+void EncodeStepAnswers(const StepAnswers& answers, JsonWriter* writer);
+Status DecodeStepAnswers(const JsonValue& value, StepAnswers* answers);
+
+void EncodeIterationRecord(const IterationRecord& record, JsonWriter* writer);
+Status DecodeIterationRecord(const JsonValue& value, IterationRecord* record);
+
+void EncodeStepResult(const StepResult& step, JsonWriter* writer);
+Status DecodeStepResult(const JsonValue& value, StepResult* step);
+
+void EncodeGroundingView(const GroundingView& view, JsonWriter* writer);
+Status DecodeGroundingView(const JsonValue& value, GroundingView* view);
+
+void EncodeValidationOutcome(const ValidationOutcome& outcome,
+                             JsonWriter* writer);
+Status DecodeValidationOutcome(const JsonValue& value,
+                               ValidationOutcome* outcome);
+
+}  // namespace veritas
+
+#endif  // VERITAS_API_CODEC_H_

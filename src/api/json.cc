@@ -1,0 +1,531 @@
+#include "api/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace veritas {
+
+namespace {
+
+constexpr size_t kMaxParseDepth = 64;
+
+const char* kHex = "0123456789abcdef";
+
+}  // namespace
+
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[(u >> 4) & 0xf];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---- writer ----------------------------------------------------------------
+
+void JsonWriter::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::InvalidArgument("JsonWriter: " + message);
+}
+
+void JsonWriter::BeforeValue() {
+  if (!status_.ok()) return;
+  if (stack_.empty()) {
+    if (root_written_) Fail("multiple root values");
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    if (!key_pending_) {
+      Fail("value in object without a key");
+      return;
+    }
+    key_pending_ = false;
+  } else {
+    if (top.has_members) out_ += ',';
+  }
+  top.has_members = true;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  if (!status_.ok()) return *this;
+  if (stack_.empty() || stack_.back().scope != Scope::kObject) {
+    Fail("key outside an object");
+    return *this;
+  }
+  if (key_pending_) {
+    Fail("two keys in a row");
+    return *this;
+  }
+  if (stack_.back().has_members) out_ += ',';
+  out_ += '"';
+  out_ += EscapeJson(key);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  if (status_.ok()) {
+    out_ += '{';
+    stack_.push_back({Scope::kObject, false});
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  if (!status_.ok()) return *this;
+  if (stack_.empty() || stack_.back().scope != Scope::kObject || key_pending_) {
+    Fail("mismatched EndObject");
+    return *this;
+  }
+  out_ += '}';
+  stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  if (status_.ok()) {
+    out_ += '[';
+    stack_.push_back({Scope::kArray, false});
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  if (!status_.ok()) return *this;
+  if (stack_.empty() || stack_.back().scope != Scope::kArray) {
+    Fail("mismatched EndArray");
+    return *this;
+  }
+  out_ += ']';
+  stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  if (status_.ok()) {
+    out_ += '"';
+    out_ += EscapeJson(value);
+    out_ += '"';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  if (status_.ok()) out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  if (status_.ok()) out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  if (status_.ok()) out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Fail("non-finite double has no JSON representation");
+    return *this;
+  }
+  BeforeValue();
+  if (status_.ok()) {
+    // max_digits10 precision: strtod() recovers the exact bit pattern.
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ += buffer;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  if (status_.ok()) out_ += "null";
+  return *this;
+}
+
+Result<std::string> JsonWriter::Take() {
+  if (!status_.ok()) return status_;
+  if (!stack_.empty()) {
+    return Status::InvalidArgument("JsonWriter: unterminated container");
+  }
+  if (!root_written_) {
+    return Status::InvalidArgument("JsonWriter: empty document");
+  }
+  return std::move(out_);
+}
+
+// ---- tree ------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<bool> JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) {
+    return Status::InvalidArgument("json: expected a boolean");
+  }
+  return bool_;
+}
+
+Result<std::string> JsonValue::AsString() const {
+  if (kind_ != Kind::kString) {
+    return Status::InvalidArgument("json: expected a string");
+  }
+  return scalar_;
+}
+
+Result<uint64_t> JsonValue::AsU64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("json: expected a number");
+  }
+  if (scalar_.find_first_of(".eE-") != std::string::npos) {
+    return Status::InvalidArgument("json: expected an unsigned integer, got " +
+                                   scalar_);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    return Status::OutOfRange("json: integer out of uint64 range: " + scalar_);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<int64_t> JsonValue::AsI64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("json: expected a number");
+  }
+  if (scalar_.find_first_of(".eE") != std::string::npos) {
+    return Status::InvalidArgument("json: expected an integer, got " + scalar_);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    return Status::OutOfRange("json: integer out of int64 range: " + scalar_);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("json: expected a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size()) {
+    return Status::InvalidArgument("json: malformed number: " + scalar_);
+  }
+  if (errno == ERANGE && !std::isfinite(value)) {
+    return Status::OutOfRange("json: number overflows double: " + scalar_);
+  }
+  return value;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+/// Appends the UTF-8 encoding of a code point (BMP + supplementary).
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    VERITAS_RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxParseDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->scalar_);
+      }
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a member key");
+      }
+      std::string key;
+      VERITAS_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      JsonValue value;
+      VERITAS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      VERITAS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->items_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto matches = [&](const char* literal) {
+      const size_t n = std::strlen(literal);
+      if (text_.compare(pos_, n, literal) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (matches("true")) {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      return Status::OK();
+    }
+    if (matches("false")) {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      return Status::OK();
+    }
+    if (matches("null")) {
+      out->kind_ = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return Error("unrecognized literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return Error("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      // Strict JSON: no leading zeros ("0" itself is fine, "01" is not).
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Error("malformed number fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Error("malformed number exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->scalar_ = text_.substr(start, pos_ - start);
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("bad \\u escape digit");
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          VERITAS_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (!(Consume('\\') && Consume('u'))) {
+              return Error("unpaired high surrogate");
+            }
+            uint32_t low = 0;
+            VERITAS_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default: return Error("unrecognized escape");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace veritas

@@ -1,0 +1,126 @@
+/// \file
+/// Hand-rolled JSON writer and parser for the wire-level guidance API
+/// (DESIGN.md §10). No third-party dependencies, mirroring the data/io
+/// philosophy: explicit escaping rules, lossless numeric round trips, and
+/// bounds-checked parsing that surfaces malformed input as Status errors
+/// instead of undefined behavior.
+///
+/// Numeric fidelity: integers are emitted as exact decimals and re-parsed
+/// as uint64/int64, so 64-bit seeds and SIZE_MAX budgets survive untouched
+/// (a double-typed tree would silently round above 2^53). Doubles are
+/// emitted with max_digits10 (%.17g) precision — strtod round-trips them
+/// bit-for-bit — and non-finite values are REJECTED on write, since JSON
+/// has no NaN/Infinity literal and lossy substitutes would break the
+/// codec's lossless-round-trip guarantee.
+
+#ifndef VERITAS_API_JSON_H_
+#define VERITAS_API_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veritas {
+
+/// Escapes a string for a JSON string literal: quote, backslash and control
+/// characters become their escape sequences (\" \\ \n \t \r \b \f, \u00XX
+/// for the rest). Bytes >= 0x20 pass through untouched, so UTF-8 payloads
+/// survive verbatim.
+std::string EscapeJson(const std::string& raw);
+
+/// Streaming JSON writer with automatic comma/nesting management. Misuse
+/// (a key outside an object, a bare value where a key is required) and
+/// non-finite doubles latch a non-OK status(); the accumulated text is then
+/// meaningless and the codec discards it.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  /// Rejects NaN and infinities (latches kInvalidArgument).
+  JsonWriter& Double(double value);
+  JsonWriter& Null();
+
+  const Status& status() const { return status_; }
+
+  /// The document text. Valid only when status() is OK and every container
+  /// has been closed.
+  Result<std::string> Take();
+
+ private:
+  /// Comma/key bookkeeping before a value or key is emitted.
+  void BeforeValue();
+  void Fail(const std::string& message);
+
+  enum class Scope : uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_members = false;
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+  bool root_written_ = false;
+  Status status_;
+};
+
+/// Parsed JSON tree. Numbers keep their raw literal text so that typed
+/// accessors can parse them losslessly (uint64 vs double).
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object member lookup; null when missing or not an object. Decoders use
+  /// this for known fields and IGNORE unrecognized members — the
+  /// forward-compatibility rule of the wire protocol.
+  const JsonValue* Find(const std::string& key) const;
+
+  Result<bool> AsBool() const;
+  Result<std::string> AsString() const;
+  /// Strict non-negative integer (rejects sign, fraction and exponent).
+  Result<uint64_t> AsU64() const;
+  Result<int64_t> AsI64() const;
+  /// Any JSON number; rejects values that overflow to +-inf.
+  Result<double> AsDouble() const;
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// Decoded string (kString) or raw number literal (kNumber).
+  std::string scalar_;
+  std::vector<JsonValue> items_;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< kObject
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Nesting is bounded (64 levels) so hostile input
+/// cannot exhaust the stack.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace veritas
+
+#endif  // VERITAS_API_JSON_H_

@@ -1,0 +1,101 @@
+#include "api/server.h"
+
+#include <utility>
+
+namespace veritas {
+
+ApiServer::ApiServer(GuidanceApi* api, const ApiServerOptions& options)
+    : api_(api), options_(options) {}
+
+Result<std::unique_ptr<ApiServer>> ApiServer::Start(
+    GuidanceApi* api, const ApiServerOptions& options) {
+  std::unique_ptr<ApiServer> server(new ApiServer(api, options));
+  auto listener = Socket::ListenTcp(options.bind_address, options.port);
+  if (!listener.ok()) return listener.status();
+  server->listener_ = std::move(listener).value();
+  auto port = server->listener_.LocalPort();
+  if (!port.ok()) return port.status();
+  server->port_ = port.value();
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+ApiServer::~ApiServer() { Stop(); }
+
+void ApiServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener shut down: Stop() was called
+    // Threads of completed connections, joined below outside the lock so a
+    // long-running server does not accumulate one joinable thread (and one
+    // slot) per connection ever served.
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;  // raced with Stop(): drop the connection
+      size_t slot = connection_fds_.size();
+      for (size_t i = 0; i < connection_fds_.size(); ++i) {
+        if (connection_fds_[i] != -1) continue;  // still live
+        if (connection_threads_[i].joinable()) {
+          finished.push_back(std::move(connection_threads_[i]));
+        }
+        slot = i;  // reaped slot, free for reuse
+      }
+      if (slot == connection_fds_.size()) {
+        connection_fds_.push_back(-1);
+        connection_threads_.emplace_back();
+      }
+      connection_fds_[slot] = accepted.value().fd();
+      connection_threads_[slot] = std::thread(
+          [this, connection = std::move(accepted).value(), slot]() mutable {
+            ServeConnection(std::move(connection), slot);
+          });
+    }
+    for (std::thread& thread : finished) thread.join();
+  }
+}
+
+void ApiServer::ServeConnection(Socket connection, size_t slot) {
+  for (;;) {
+    auto frame = ReadFrame(connection, options_.max_frame_bytes);
+    if (!frame.ok()) break;  // disconnect (clean or otherwise)
+    if (!WriteFrame(connection, api_->HandleJson(frame.value())).ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  connection_fds_[slot] = -1;
+  ++connections_served_;
+  served_cv_.notify_all();
+}
+
+size_t ApiServer::connections_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_served_;
+}
+
+void ApiServer::WaitForConnections(size_t count) {
+  std::unique_lock<std::mutex> lock(mu_);
+  served_cv_.wait(lock, [&] { return connections_served_ >= count; });
+}
+
+void ApiServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock connection handlers stuck in ReadFrame. The fds stay owned by
+    // their Socket objects inside the handler threads; ShutdownFd only
+    // severs the stream.
+    for (const int fd : connection_fds_) ShutdownFd(fd);
+  }
+  // Unblock Accept() and join the accept thread first so no new connection
+  // threads appear while we join the existing ones.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+}  // namespace veritas

@@ -1,0 +1,91 @@
+/// \file
+/// Length-prefix-framed TCP loopback server of the guidance API (DESIGN.md
+/// §10): accepts connections on a background thread and serves each one
+/// from its own handler thread — one frame in (a JSON request envelope),
+/// one frame out (the response envelope), strictly in order per
+/// connection. Concurrency across sessions comes from concurrent
+/// connections plus the RequestQueue worker pool behind the GuidanceApi;
+/// a single connection behaves like a single in-process caller.
+
+#ifndef VERITAS_API_SERVER_H_
+#define VERITAS_API_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "common/socket.h"
+
+namespace veritas {
+
+struct ApiServerOptions {
+  /// Loopback by default: the deployment shape is a local service front
+  /// end; anything internet-facing belongs behind a real edge.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the assigned one from port().
+  uint16_t port = 0;
+  /// Per-frame size cap forwarded to ReadFrame.
+  size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// A running API server. Start() binds and begins accepting; Stop() (also
+/// run by the destructor) shuts the listener and every live connection
+/// down and joins all threads.
+class ApiServer {
+ public:
+  /// `api` must outlive the server.
+  static Result<std::unique_ptr<ApiServer>> Start(
+      GuidanceApi* api, const ApiServerOptions& options = {});
+
+  ~ApiServer();
+
+  ApiServer(const ApiServer&) = delete;
+  ApiServer& operator=(const ApiServer&) = delete;
+
+  /// The bound port (resolves the ephemeral-port case).
+  uint16_t port() const { return port_; }
+
+  /// Connections accepted and since fully served (client disconnected).
+  size_t connections_served() const;
+
+  /// Blocks until at least `count` connections have been served. Lets a
+  /// serve-one-client process (examples/veritas_server --once) exit without
+  /// polling.
+  void WaitForConnections(size_t count);
+
+  /// Idempotent shutdown: closes the listener, severs live connections,
+  /// joins every thread.
+  void Stop();
+
+ private:
+  ApiServer(GuidanceApi* api, const ApiServerOptions& options);
+
+  void AcceptLoop();
+  void ServeConnection(Socket connection, size_t slot);
+
+  GuidanceApi* api_;
+  ApiServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable served_cv_;
+  /// One raw fd per connection slot (slot index = handler thread index),
+  /// -1 once closed; Stop() shuts them down to unblock blocked reads. The
+  /// accept loop reaps finished slots (joining their threads) and reuses
+  /// them, so the vectors stay bounded by peak concurrent connections.
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  size_t connections_served_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_API_SERVER_H_

@@ -1,0 +1,62 @@
+/// \file
+/// GuidanceApi: the dispatcher of the wire-level guidance API (DESIGN.md
+/// §10). Maps decoded api/wire.h requests onto the session service —
+/// SessionManager for lifecycle operations (create, checkpoint, restore,
+/// stats) and, when one is attached, the RequestQueue for step operations
+/// (advance, answer, ground, terminate), so wire traffic flows through the
+/// same admission control and per-session FIFO scheduling as in-process
+/// callers — and flattens StepResult/GroundingView/ValidationOutcome into
+/// wire responses. Errors never escape as exceptions: every failure maps to
+/// a tagged ErrorResponse carrying the StatusCode.
+
+#ifndef VERITAS_API_SERVICE_H_
+#define VERITAS_API_SERVICE_H_
+
+#include <string>
+
+#include "api/wire.h"
+#include "service/request_queue.h"
+#include "service/session_manager.h"
+
+namespace veritas {
+
+/// Stateless request dispatcher over a SessionManager (+ optional
+/// RequestQueue). Thread-safe: it holds no mutable state of its own, and
+/// both backends are internally synchronized — the loopback server calls
+/// Handle from one thread per connection.
+class GuidanceApi {
+ public:
+  /// `manager` must outlive the api. `queue` (optional, must be built over
+  /// the same manager) routes step requests through admission control; a
+  /// full queue surfaces as an ErrorResponse with kUnavailable — the
+  /// client sheds load or retries, exactly like an in-process submitter.
+  explicit GuidanceApi(SessionManager* manager, RequestQueue* queue = nullptr);
+
+  /// Dispatches one decoded request. The response echoes the request id.
+  ApiResponse Handle(const ApiRequest& request);
+
+  /// The full server-side frame path: decode JSON, version-check, dispatch,
+  /// encode. Malformed input becomes an encoded ErrorResponse (addressed
+  /// with the request id when the envelope yielded one); this function
+  /// always returns a valid response document.
+  std::string HandleJson(const std::string& request_json);
+
+  SessionManager* manager() { return manager_; }
+
+ private:
+  ApiResponse Dispatch(const ApiRequest& request);
+  /// Runs a step-kind request through the queue (when attached) or directly.
+  Result<ServiceResponse> SubmitStep(ServiceRequest request);
+  /// SubmitStep with both failure layers folded into the Status: a queue
+  /// rejection and a failed step surface identically, and a returned
+  /// response always carries an OK status.
+  Result<ServiceResponse> ServeStep(RequestKind kind, SessionId session,
+                                    StepAnswers answers = {});
+
+  SessionManager* manager_;
+  RequestQueue* queue_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_API_SERVICE_H_

@@ -1,0 +1,89 @@
+/// \file
+/// Minimal POSIX TCP socket wrapper plus the length-prefixed frame protocol
+/// of the wire-level guidance API (src/api/, DESIGN.md §10). A frame is a
+/// little-endian uint32 payload length followed by the payload bytes —
+/// the same fixed-width little-endian convention as data/io.h's
+/// BinaryWriter. Deliberately tiny: blocking I/O, IPv4, no TLS; the
+/// deployment shape it serves is a loopback (or LAN) service front end, not
+/// an internet-facing edge.
+
+#ifndef VERITAS_COMMON_SOCKET_H_
+#define VERITAS_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace veritas {
+
+/// Frames larger than this are rejected by ReadFrame/WriteFrame: a corrupt
+/// length prefix must not trigger a multi-gigabyte allocation.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// RAII wrapper over a connected or listening TCP socket file descriptor.
+/// Move-only; the destructor closes the descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Connects to host:port (dotted IPv4 or a resolvable name).
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+  /// Binds and listens on `bind_address`:`port` (port 0 = ephemeral; use
+  /// LocalPort() to learn the assigned one).
+  static Result<Socket> ListenTcp(const std::string& bind_address,
+                                  uint16_t port, int backlog = 16);
+
+  /// Accepts one connection on a listening socket. Blocks; returns
+  /// kUnavailable once the listening descriptor is shut down/closed.
+  Result<Socket> Accept() const;
+
+  /// Port the socket is bound to (listening sockets after ListenTcp).
+  Result<uint16_t> LocalPort() const;
+
+  /// Sends exactly `size` bytes (loops over partial writes, no SIGPIPE).
+  Status SendAll(const void* data, size_t size) const;
+
+  /// Receives exactly `size` bytes. A connection closed before the first
+  /// byte returns kUnavailable ("connection closed"); closed mid-buffer
+  /// returns kOutOfRange (a truncated frame).
+  Status RecvAll(void* data, size_t size) const;
+
+  /// Shuts down both directions, unblocking any thread inside
+  /// Accept()/RecvAll() on this descriptor. The fd stays owned/open.
+  void Shutdown() const;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  void Close();
+
+  int fd_ = -1;
+};
+
+/// Non-owning shutdown of a raw descriptor: severs the stream (unblocking
+/// any blocked accept/recv on it) without closing it — ownership stays with
+/// whatever Socket wraps the fd. No-op for negative fds.
+void ShutdownFd(int fd);
+
+/// Writes one frame: uint32 little-endian payload length, then the payload.
+Status WriteFrame(const Socket& socket, const std::string& payload);
+
+/// Reads one frame written by WriteFrame. Clean EOF before the length
+/// prefix surfaces as kUnavailable ("connection closed") so servers can
+/// tell an orderly disconnect from a truncated frame (kOutOfRange).
+Result<std::string> ReadFrame(const Socket& socket,
+                              size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace veritas
+
+#endif  // VERITAS_COMMON_SOCKET_H_

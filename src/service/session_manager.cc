@@ -24,6 +24,9 @@ Result<SessionId> SessionManager::Create(FactDatabase db,
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
     Entry entry;
+    entry.mode = session->mode();
+    entry.steps_served = session->steps_served();
+    entry.steps_baseline = entry.steps_served;
     entry.session = std::move(session);
     entry.last_touch = ++touch_clock_;
     entry.footprint = footprint;
@@ -65,12 +68,16 @@ Result<std::shared_ptr<Session>> SessionManager::Acquire(SessionId id) {
   return entry.session;
 }
 
-void SessionManager::Release(SessionId id, size_t footprint) {
+void SessionManager::Release(SessionId id, size_t footprint,
+                             size_t steps_served) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;  // terminated concurrently
   if (it->second.pins > 0) --it->second.pins;
   if (footprint > 0) it->second.footprint = footprint;
+  if (steps_served > it->second.steps_served) {
+    it->second.steps_served = steps_served;
+  }
 }
 
 Status SessionManager::EnforceBudget(SessionId keep) {
@@ -123,15 +130,19 @@ Result<StepResult> SessionManager::RunStep(
   if (!acquired.ok()) return acquired.status();
   std::shared_ptr<Session> session = std::move(acquired).value();
   size_t footprint = 0;
+  size_t steps_served = 0;
   Result<StepResult> result = [&]() -> Result<StepResult> {
     std::lock_guard<std::mutex> lock(session->mutex());
     auto stepped = step(*session);
     // Footprint is read under the session lock: the moment it drops,
     // another thread may enter a step on this session.
-    if (stepped.ok()) footprint = session->MemoryFootprintBytes();
+    if (stepped.ok()) {
+      footprint = session->MemoryFootprintBytes();
+      steps_served = session->steps_served();
+    }
     return stepped;
   }();
-  Release(id, footprint);
+  Release(id, footprint, steps_served);
   // Best effort only: a budget shortfall must not swallow the result of a
   // step that already committed (see header).
   (void)EnforceBudget(id);
@@ -171,7 +182,12 @@ Result<ValidationOutcome> SessionManager::Terminate(SessionId id) {
   }();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    sessions_.erase(id);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      // Finalize() itself is not a step; the entry's counter is current.
+      steps_retired_ += it->second.steps_served - it->second.steps_baseline;
+      sessions_.erase(it);
+    }
   }
   return outcome;
 }
@@ -198,6 +214,13 @@ Result<SessionId> SessionManager::Restore(const std::string& directory) {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
     Entry entry;
+    entry.mode = session->mode();
+    // A restored checkpoint re-imports the original run's step counter;
+    // the baseline keeps the manager aggregate counting only steps THIS
+    // manager serves (SessionInfo still reports the session-lifetime
+    // figure).
+    entry.steps_served = session->steps_served();
+    entry.steps_baseline = entry.steps_served;
     entry.session = std::move(session);
     entry.last_touch = ++touch_clock_;
     entry.footprint = footprint;
@@ -215,20 +238,54 @@ Result<SessionId> SessionManager::Restore(const std::string& directory) {
   return id;
 }
 
-SessionManagerStats SessionManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+SessionManagerStats SessionManager::StatsLocked() const {
   SessionManagerStats stats;
   stats.sessions_created = created_;
   stats.sessions_active = sessions_.size();
   stats.evictions = evictions_;
   stats.spill_restores = spill_restores_;
+  stats.steps_served = steps_retired_;
   for (const auto& [id, entry] : sessions_) {
+    stats.steps_served += entry.steps_served - entry.steps_baseline;
     if (entry.session != nullptr) {
       ++stats.sessions_resident;
       stats.resident_bytes += entry.footprint;
+    } else {
+      ++stats.sessions_spilled;
     }
   }
   return stats;
+}
+
+std::vector<SessionInfo> SessionManager::ListLocked() const {
+  std::vector<SessionInfo> sessions;
+  sessions.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) {
+    SessionInfo info;
+    info.id = id;
+    info.mode = entry.mode;
+    info.resident = entry.session != nullptr;
+    info.steps_served = entry.steps_served;
+    info.footprint_bytes = entry.footprint;
+    sessions.push_back(info);
+  }
+  return sessions;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
+std::vector<SessionInfo> SessionManager::ListSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ListLocked();
+}
+
+ServiceStats SessionManager::Snapshot(std::vector<SessionInfo>* sessions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *sessions = ListLocked();
+  return StatsLocked();
 }
 
 }  // namespace veritas

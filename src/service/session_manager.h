@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "service/session.h"
@@ -36,14 +37,32 @@ struct SessionManagerOptions {
   std::string spill_directory;
 };
 
-/// Aggregate service counters (diagnostics and the throughput bench).
+/// Aggregate service counters (diagnostics, the throughput bench, and the
+/// wire API's StatsRequest — DESIGN.md §10).
 struct SessionManagerStats {
   size_t sessions_created = 0;
   size_t sessions_active = 0;   ///< resident + spilled
   size_t sessions_resident = 0;
+  size_t sessions_spilled = 0;  ///< evicted to checkpoint, restorable on touch
   size_t evictions = 0;
   size_t spill_restores = 0;
   size_t resident_bytes = 0;    ///< footprint estimate of resident sessions
+  /// Advance()/Answer() steps served across the manager's lifetime,
+  /// including sessions that have since terminated.
+  size_t steps_served = 0;
+};
+
+/// The per-manager snapshot name the wire API uses (api/wire.h).
+using ServiceStats = SessionManagerStats;
+
+/// One row of ListSessions(): enough for a remote operator to see what the
+/// manager hosts without touching (and thereby restoring) any session.
+struct SessionInfo {
+  SessionId id = 0;
+  SessionMode mode = SessionMode::kBatch;
+  bool resident = true;       ///< false while spilled to checkpoint
+  size_t steps_served = 0;    ///< as of the session's last completed step
+  size_t footprint_bytes = 0; ///< last MemoryFootprintBytes() estimate
 };
 
 /// Thread-safe multi-session host. All public methods may be called
@@ -79,6 +98,16 @@ class SessionManager {
 
   SessionManagerStats stats() const;
 
+  /// Snapshot of every hosted session, in id order. Spilled sessions are
+  /// reported from their cached metadata — listing never forces a restore.
+  std::vector<SessionInfo> ListSessions() const;
+
+  /// Atomic combined snapshot: the stats and the session list observe the
+  /// same instant (stats().sessions_active == sessions->size() always).
+  /// This is what StatsRequest serves — two separate calls could straddle a
+  /// concurrent Create/Terminate and disagree.
+  ServiceStats Snapshot(std::vector<SessionInfo>* sessions) const;
+
  private:
   struct Entry {
     std::shared_ptr<Session> session;  ///< null while spilled
@@ -88,15 +117,23 @@ class SessionManager {
     /// In-flight operations. A pinned session is never evicted: eviction
     /// checkpoints session state, which must be quiescent.
     size_t pins = 0;
+    /// Cached for ListSessions()/stats() so spilled sessions stay listable.
+    SessionMode mode = SessionMode::kBatch;
+    size_t steps_served = 0;
+    /// Steps the session had already served when it entered THIS manager
+    /// (non-zero for sessions restored from a checkpoint). The manager's
+    /// aggregate counts steps_served - steps_baseline, so restoring a
+    /// checkpoint does not re-claim the steps the original run served.
+    size_t steps_baseline = 0;
   };
 
   /// Pins the session resident (restoring it from spill when needed) and
   /// returns it. Bumps the LRU clock.
   Result<std::shared_ptr<Session>> Acquire(SessionId id);
 
-  /// Drops the pin taken by Acquire() and records the fresh footprint
-  /// estimate (0 = leave unchanged).
-  void Release(SessionId id, size_t footprint);
+  /// Drops the pin taken by Acquire() and records the fresh footprint and
+  /// steps-served estimates (0 = leave unchanged; both only grow).
+  void Release(SessionId id, size_t footprint, size_t steps_served = 0);
 
   /// Spills LRU idle sessions until the resident total fits the budget
   /// again. Never evicts `keep` or any pinned session.
@@ -118,6 +155,15 @@ class SessionManager {
   size_t created_ = 0;
   size_t evictions_ = 0;
   size_t spill_restores_ = 0;
+  /// Requires mu_. Shared body of stats()/Snapshot().
+  SessionManagerStats StatsLocked() const;
+  /// Requires mu_. Shared body of ListSessions()/Snapshot().
+  std::vector<SessionInfo> ListLocked() const;
+
+  /// Steps served by sessions that have since been terminated (net of
+  /// their baselines); live sessions contribute steps_served -
+  /// steps_baseline on top.
+  size_t steps_retired_ = 0;
 };
 
 }  // namespace veritas

@@ -1,0 +1,514 @@
+// Round-trip property tests of the wire codec (DESIGN.md §10): every
+// message encodes to JSON and decodes back FIELD-IDENTICAL — 64-bit seeds,
+// SIZE_MAX budgets, max_digits10 doubles, and free text full of tabs,
+// quotes, newlines and raw control bytes included. Re-encoding the decoded
+// message must reproduce the exact same document (a fixed point), which is
+// what makes the codec's losslessness testable without golden files.
+
+#include "api/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+// ---- randomized message generators -----------------------------------------
+
+std::string NastyText(Rng* rng) {
+  static const char* kPieces[] = {
+      "plain",  "tab\t",    "quote\"", "back\\slash", "new\nline",
+      "ret\r",  "ctrl\x01", "{json}",  "[\"array\"]", "\xc3\xa9\xe2\x82\xac",
+      "a:b,c.", "",
+  };
+  std::string text;
+  const size_t pieces = rng->UniformInt(5);
+  for (size_t i = 0; i < pieces; ++i) {
+    text += kPieces[rng->UniformInt(sizeof(kPieces) / sizeof(kPieces[0]))];
+  }
+  return text;
+}
+
+double AnyFinite(Rng* rng) {
+  switch (rng->UniformInt(6)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return 5e-324;  // smallest denormal
+    case 3: return -1.7976931348623157e308;
+    case 4: return rng->Normal(0.0, 1e9);
+    default: return rng->Uniform(-1.0, 1.0);
+  }
+}
+
+size_t AnySize(Rng* rng) {
+  switch (rng->UniformInt(4)) {
+    case 0: return 0;
+    case 1: return SIZE_MAX;
+    case 2: return static_cast<size_t>(rng->NextU64());
+    default: return rng->UniformInt(1000);
+  }
+}
+
+SessionSpec RandomSpec(Rng* rng) {
+  SessionSpec spec;
+  spec.mode = rng->Bernoulli(0.5) ? SessionMode::kBatch : SessionMode::kStreaming;
+  spec.user.kind = static_cast<UserSpec::Kind>(rng->UniformInt(4));
+  spec.user.rate = AnyFinite(rng);
+  spec.user.seed = rng->NextU64();
+  spec.user.latency_ms = AnyFinite(rng);
+  spec.streaming_label_interval = AnySize(rng);
+  ValidationOptions& v = spec.validation;
+  v.strategy = static_cast<StrategyKind>(rng->UniformInt(5));
+  v.budget = AnySize(rng);
+  v.target_precision = AnyFinite(rng);
+  v.batch_size = AnySize(rng);
+  v.batch_benefit_weight = AnyFinite(rng);
+  v.confirmation_interval = AnySize(rng);
+  v.exact_entropy_trace = rng->Bernoulli(0.5);
+  v.seed = rng->NextU64();
+  v.guidance.variant = static_cast<GuidanceVariant>(rng->UniformInt(3));
+  v.guidance.candidate_pool = AnySize(rng);
+  v.guidance.neighborhood_radius = AnySize(rng);
+  v.guidance.neighborhood_cap = AnySize(rng);
+  v.guidance.num_threads = AnySize(rng);
+  v.guidance.max_enumeration_claims = AnySize(rng);
+  v.guidance.seed = rng->NextU64();
+  v.termination.enable_urr = rng->Bernoulli(0.5);
+  v.termination.urr_threshold = AnyFinite(rng);
+  v.termination.urr_patience = AnySize(rng);
+  v.termination.enable_cng = rng->Bernoulli(0.5);
+  v.termination.cng_threshold = AnyFinite(rng);
+  v.termination.cng_patience = AnySize(rng);
+  v.termination.enable_pre = rng->Bernoulli(0.5);
+  v.termination.pre_streak = AnySize(rng);
+  v.termination.enable_pir = rng->Bernoulli(0.5);
+  v.termination.pir_threshold = AnyFinite(rng);
+  v.termination.pir_folds = AnySize(rng);
+  v.termination.pir_interval = AnySize(rng);
+  v.termination.pir_patience = AnySize(rng);
+  ICrfOptions& icrf = v.icrf;
+  icrf.crf.l2_lambda = AnyFinite(rng);
+  icrf.crf.coupling = AnyFinite(rng);
+  icrf.crf.prior_weight = AnyFinite(rng);
+  icrf.crf.prior_clamp = AnyFinite(rng);
+  icrf.crf.labeled_weight = AnyFinite(rng);
+  icrf.crf.unlabeled_weight_floor = AnyFinite(rng);
+  icrf.crf.unlabeled_confidence_scale = AnyFinite(rng);
+  icrf.crf.unlabeled_mass_cap_ratio = AnyFinite(rng);
+  icrf.crf.max_pairs_per_source = AnySize(rng);
+  icrf.gibbs = GibbsOptions{AnySize(rng), AnySize(rng), AnySize(rng)};
+  icrf.hypothetical_gibbs = GibbsOptions{AnySize(rng), AnySize(rng), AnySize(rng)};
+  icrf.tron.max_iterations = AnySize(rng);
+  icrf.tron.gradient_tolerance = AnyFinite(rng);
+  icrf.tron.initial_radius = AnyFinite(rng);
+  icrf.tron.cg_max_iterations = AnySize(rng);
+  icrf.tron.cg_tolerance = AnyFinite(rng);
+  icrf.tron.eta0 = AnyFinite(rng);
+  icrf.tron.eta1 = AnyFinite(rng);
+  icrf.tron.eta2 = AnyFinite(rng);
+  icrf.tron.sigma1 = AnyFinite(rng);
+  icrf.tron.sigma2 = AnyFinite(rng);
+  icrf.tron.sigma3 = AnyFinite(rng);
+  icrf.max_em_iterations = AnySize(rng);
+  icrf.em_tolerance = AnyFinite(rng);
+  icrf.fit_weights = rng->Bernoulli(0.5);
+  StreamingOptions& s = spec.streaming;
+  s.icrf = icrf;
+  s.step_a = AnyFinite(rng);
+  s.step_t0 = AnyFinite(rng);
+  s.step_kappa = AnyFinite(rng);
+  s.window_cap = AnySize(rng);
+  s.tron_iterations_per_arrival = AnySize(rng);
+  s.seed = rng->NextU64();
+  return spec;
+}
+
+IterationRecord RandomRecord(Rng* rng) {
+  IterationRecord record;
+  record.iteration = AnySize(rng);
+  const size_t n = rng->UniformInt(5);
+  for (size_t i = 0; i < n; ++i) {
+    record.claims.push_back(static_cast<ClaimId>(rng->UniformInt(1000)));
+    record.answers.push_back(rng->Bernoulli(0.5) ? 1 : 0);
+  }
+  record.seconds = AnyFinite(rng);
+  record.entropy = AnyFinite(rng);
+  record.precision = AnyFinite(rng);
+  record.effort = AnyFinite(rng);
+  record.error_rate = AnyFinite(rng);
+  record.z_score = AnyFinite(rng);
+  record.unreliable_ratio = AnyFinite(rng);
+  record.repairs = AnySize(rng);
+  record.skips = AnySize(rng);
+  for (size_t i = 0; i < rng->UniformInt(3); ++i) {
+    record.flagged.push_back(static_cast<ClaimId>(rng->UniformInt(1000)));
+  }
+  record.prediction_matched = rng->Bernoulli(0.5);
+  record.urr = AnyFinite(rng);
+  record.cng = AnyFinite(rng);
+  record.pre_streak = AnySize(rng);
+  record.pir = AnyFinite(rng);
+  return record;
+}
+
+StepResult RandomStep(Rng* rng) {
+  StepResult step;
+  step.done = rng->Bernoulli(0.3);
+  step.stop_reason = NastyText(rng);
+  step.awaiting_answers = rng->Bernoulli(0.5);
+  for (size_t i = 0; i < rng->UniformInt(6); ++i) {
+    step.candidates.push_back(static_cast<ClaimId>(rng->NextU64() & 0xffffffffu));
+  }
+  step.batch = rng->Bernoulli(0.5);
+  step.iteration_completed = rng->Bernoulli(0.5);
+  step.record = RandomRecord(rng);
+  step.arrival_processed = rng->Bernoulli(0.5);
+  step.arrival.claim = static_cast<ClaimId>(rng->UniformInt(100000));
+  step.arrival.update_seconds = AnyFinite(rng);
+  step.arrival.initial_prob = AnyFinite(rng);
+  return step;
+}
+
+// ---- field-equality helpers ------------------------------------------------
+// Doubles compare by bit pattern (== would call -0.0 and 0.0 equal and the
+// point is exactness).
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectRecordEqual(const IterationRecord& a, const IterationRecord& b) {
+  EXPECT_EQ(a.iteration, b.iteration);
+  EXPECT_EQ(a.claims, b.claims);
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_TRUE(BitEqual(a.seconds, b.seconds));
+  EXPECT_TRUE(BitEqual(a.entropy, b.entropy));
+  EXPECT_TRUE(BitEqual(a.precision, b.precision));
+  EXPECT_TRUE(BitEqual(a.effort, b.effort));
+  EXPECT_TRUE(BitEqual(a.error_rate, b.error_rate));
+  EXPECT_TRUE(BitEqual(a.z_score, b.z_score));
+  EXPECT_TRUE(BitEqual(a.unreliable_ratio, b.unreliable_ratio));
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.skips, b.skips);
+  EXPECT_EQ(a.flagged, b.flagged);
+  EXPECT_EQ(a.prediction_matched, b.prediction_matched);
+  EXPECT_TRUE(BitEqual(a.urr, b.urr));
+  EXPECT_TRUE(BitEqual(a.cng, b.cng));
+  EXPECT_EQ(a.pre_streak, b.pre_streak);
+  EXPECT_TRUE(BitEqual(a.pir, b.pir));
+}
+
+/// Encode -> decode -> re-encode; the two encodings must be byte-equal
+/// (decode(encode(x)) is a fixed point of the codec).
+template <typename Msg, typename Encoder, typename Decoder>
+Msg RoundTrip(const Msg& message, Encoder encode, Decoder decode) {
+  JsonWriter w1;
+  encode(message, &w1);
+  auto text1 = w1.Take();
+  EXPECT_TRUE(text1.ok()) << text1.status();
+  auto parsed = ParseJson(text1.value());
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  Msg decoded;
+  const Status status = decode(parsed.value(), &decoded);
+  EXPECT_TRUE(status.ok()) << status;
+  JsonWriter w2;
+  encode(decoded, &w2);
+  auto text2 = w2.Take();
+  EXPECT_TRUE(text2.ok());
+  EXPECT_EQ(text1.value(), text2.value()) << "codec is not a fixed point";
+  return decoded;
+}
+
+// ---- the properties --------------------------------------------------------
+
+TEST(CodecRoundTripTest, SessionSpecEveryFieldSurvives) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const SessionSpec spec = RandomSpec(&rng);
+    const SessionSpec decoded =
+        RoundTrip(spec, EncodeSessionSpec, DecodeSessionSpec);
+    EXPECT_EQ(decoded.mode, spec.mode);
+    EXPECT_EQ(decoded.user.kind, spec.user.kind);
+    EXPECT_TRUE(BitEqual(decoded.user.rate, spec.user.rate));
+    EXPECT_EQ(decoded.user.seed, spec.user.seed);
+    EXPECT_TRUE(BitEqual(decoded.user.latency_ms, spec.user.latency_ms));
+    EXPECT_EQ(decoded.streaming_label_interval, spec.streaming_label_interval);
+    EXPECT_EQ(decoded.validation.strategy, spec.validation.strategy);
+    EXPECT_EQ(decoded.validation.budget, spec.validation.budget);
+    EXPECT_TRUE(BitEqual(decoded.validation.target_precision,
+                         spec.validation.target_precision));
+    EXPECT_EQ(decoded.validation.batch_size, spec.validation.batch_size);
+    EXPECT_EQ(decoded.validation.confirmation_interval,
+              spec.validation.confirmation_interval);
+    EXPECT_EQ(decoded.validation.guidance.variant,
+              spec.validation.guidance.variant);
+    EXPECT_EQ(decoded.validation.guidance.seed, spec.validation.guidance.seed);
+    EXPECT_EQ(decoded.validation.icrf.crf.max_pairs_per_source,
+              spec.validation.icrf.crf.max_pairs_per_source);
+    EXPECT_TRUE(BitEqual(decoded.validation.icrf.tron.sigma3,
+                         spec.validation.icrf.tron.sigma3));
+    EXPECT_EQ(decoded.validation.termination.pir_folds,
+              spec.validation.termination.pir_folds);
+    EXPECT_EQ(decoded.streaming.seed, spec.streaming.seed);
+    EXPECT_TRUE(BitEqual(decoded.streaming.step_kappa, spec.streaming.step_kappa));
+    EXPECT_EQ(decoded.streaming.window_cap, spec.streaming.window_cap);
+  }
+}
+
+TEST(CodecRoundTripTest, StepResultAndRecordSurvive) {
+  Rng rng(202);
+  for (int trial = 0; trial < 100; ++trial) {
+    const StepResult step = RandomStep(&rng);
+    const StepResult decoded =
+        RoundTrip(step, EncodeStepResult, DecodeStepResult);
+    EXPECT_EQ(decoded.done, step.done);
+    EXPECT_EQ(decoded.stop_reason, step.stop_reason);
+    EXPECT_EQ(decoded.awaiting_answers, step.awaiting_answers);
+    EXPECT_EQ(decoded.candidates, step.candidates);
+    EXPECT_EQ(decoded.batch, step.batch);
+    EXPECT_EQ(decoded.iteration_completed, step.iteration_completed);
+    ExpectRecordEqual(decoded.record, step.record);
+    EXPECT_EQ(decoded.arrival_processed, step.arrival_processed);
+    EXPECT_EQ(decoded.arrival.claim, step.arrival.claim);
+    EXPECT_TRUE(BitEqual(decoded.arrival.update_seconds,
+                         step.arrival.update_seconds));
+  }
+}
+
+TEST(CodecRoundTripTest, FactDatabaseSurvivesWithNastyText) {
+  Rng rng(303);
+  FactDatabase db = testing::MakeHandDatabase();
+  // Adversarial free text on top of the hand-built structure.
+  FactDatabase nasty;
+  for (int s = 0; s < 4; ++s) {
+    nasty.AddSource({NastyText(&rng), {rng.Uniform(), 5e-324}});
+  }
+  for (int d = 0; d < 6; ++d) {
+    nasty.AddDocument({static_cast<SourceId>(d % 4), {rng.Normal(), -0.0}});
+  }
+  for (int c = 0; c < 5; ++c) nasty.AddClaim({NastyText(&rng)});
+  ASSERT_TRUE(nasty.AddMention(0, 0, Stance::kSupport).ok());
+  ASSERT_TRUE(nasty.AddMention(1, 2, Stance::kRefute).ok());
+  nasty.SetGroundTruth(0, true);
+  nasty.SetGroundTruth(3, false);
+
+  for (const FactDatabase* original : {&db, &nasty}) {
+    const FactDatabase decoded =
+        RoundTrip(*original, EncodeFactDatabase, DecodeFactDatabase);
+    ASSERT_EQ(decoded.num_sources(), original->num_sources());
+    ASSERT_EQ(decoded.num_documents(), original->num_documents());
+    ASSERT_EQ(decoded.num_claims(), original->num_claims());
+    ASSERT_EQ(decoded.num_cliques(), original->num_cliques());
+    for (size_t s = 0; s < decoded.num_sources(); ++s) {
+      EXPECT_EQ(decoded.source(s).name, original->source(s).name);
+      EXPECT_EQ(decoded.source(s).features, original->source(s).features);
+    }
+    for (size_t c = 0; c < decoded.num_claims(); ++c) {
+      const ClaimId id = static_cast<ClaimId>(c);
+      EXPECT_EQ(decoded.claim(id).text, original->claim(id).text);
+      EXPECT_EQ(decoded.has_ground_truth(id), original->has_ground_truth(id));
+      if (decoded.has_ground_truth(id)) {
+        EXPECT_EQ(decoded.ground_truth(id), original->ground_truth(id));
+      }
+    }
+    for (size_t k = 0; k < decoded.num_cliques(); ++k) {
+      EXPECT_EQ(decoded.clique(k).claim, original->clique(k).claim);
+      EXPECT_EQ(decoded.clique(k).document, original->clique(k).document);
+      EXPECT_EQ(decoded.clique(k).stance, original->clique(k).stance);
+    }
+  }
+}
+
+TEST(CodecRoundTripTest, EnvelopesSurvive) {
+  Rng rng(404);
+  // Request envelope with the biggest payload: create_session.
+  ApiRequest request;
+  request.id = rng.NextU64();
+  request.params =
+      CreateSessionRequest{testing::MakeHandDatabase(), RandomSpec(&rng)};
+  auto encoded = EncodeRequest(request);
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  auto decoded = DecodeRequest(encoded.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().id, request.id);
+  EXPECT_EQ(decoded.value().method(), ApiMethod::kCreateSession);
+  auto re_encoded = EncodeRequest(decoded.value());
+  ASSERT_TRUE(re_encoded.ok());
+  EXPECT_EQ(re_encoded.value(), encoded.value());
+
+  // Every other request kind.
+  ApiRequest others[] = {{}, {}, {}, {}, {}, {}, {}};
+  others[0].params = AdvanceRequest{7};
+  others[1].params = AnswerRequest{8, StepAnswers{{1, 2}, {1, 0}, 3}};
+  others[2].params = GroundRequest{9};
+  others[3].params = CheckpointRequest{10, NastyText(&rng)};
+  others[4].params = RestoreRequest{NastyText(&rng)};
+  others[5].params = StatsRequest{};
+  others[6].params = TerminateRequest{11};
+  for (ApiRequest& other : others) {
+    other.id = rng.NextU64();
+    auto text = EncodeRequest(other);
+    ASSERT_TRUE(text.ok());
+    auto back = DecodeRequest(text.value());
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back.value().method(), other.method());
+    auto again = EncodeRequest(back.value());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), text.value());
+  }
+
+  // Response envelopes: a step payload and a tagged error.
+  ApiResponse step_response;
+  step_response.id = 77;
+  step_response.result = StepResponse{RandomStep(&rng)};
+  auto response_text = EncodeResponse(step_response);
+  ASSERT_TRUE(response_text.ok()) << response_text.status();
+  auto response_back = DecodeResponse(response_text.value());
+  ASSERT_TRUE(response_back.ok()) << response_back.status();
+  EXPECT_FALSE(IsError(response_back.value()));
+  ExpectRecordEqual(
+      std::get<StepResponse>(response_back.value().result).step.record,
+      std::get<StepResponse>(step_response.result).step.record);
+
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable}) {
+    const ApiResponse error = MakeErrorResponse(
+        rng.NextU64(), Status(code, "nasty " + NastyText(&rng)));
+    auto error_text = EncodeResponse(error);
+    ASSERT_TRUE(error_text.ok());
+    auto error_back = DecodeResponse(error_text.value());
+    ASSERT_TRUE(error_back.ok()) << error_back.status();
+    ASSERT_TRUE(IsError(error_back.value()));
+    const ErrorResponse& original = std::get<ErrorResponse>(error.result);
+    const ErrorResponse& decoded_error =
+        std::get<ErrorResponse>(error_back.value().result);
+    // The exact Status comes back: code AND message.
+    EXPECT_EQ(ToStatus(decoded_error), ToStatus(original));
+    EXPECT_EQ(error_back.value().id, error.id);
+  }
+}
+
+TEST(CodecRoundTripTest, ValidationOutcomeSurvives) {
+  Rng rng(505);
+  ValidationOutcome outcome;
+  outcome.state = BeliefState(6);
+  outcome.state.SetLabel(1, true);
+  outcome.state.SetLabel(4, false);
+  outcome.state.set_prob(0, 5e-324);
+  outcome.state.set_prob(2, 1.0 / 3.0);
+  outcome.grounding = {1, 1, 0, 1, 0, 0};
+  outcome.trace.push_back(RandomRecord(&rng));
+  outcome.trace.push_back(RandomRecord(&rng));
+  outcome.validations = SIZE_MAX;
+  outcome.mistakes_made = 3;
+  outcome.mistakes_detected = 2;
+  outcome.mistakes_repaired = 1;
+  outcome.stop_reason = "budget\texhausted \"now\"\n";
+  outcome.initial_precision = 0.25;
+  outcome.final_precision = 1.0 / 3.0;
+
+  const ValidationOutcome decoded =
+      RoundTrip(outcome, EncodeValidationOutcome, DecodeValidationOutcome);
+  EXPECT_EQ(decoded.state.probs(), outcome.state.probs());
+  EXPECT_EQ(decoded.state.labeled_count(), outcome.state.labeled_count());
+  EXPECT_EQ(decoded.state.label(1), ClaimLabel::kCredible);
+  EXPECT_EQ(decoded.state.label(4), ClaimLabel::kNonCredible);
+  EXPECT_EQ(decoded.grounding, outcome.grounding);
+  ASSERT_EQ(decoded.trace.size(), outcome.trace.size());
+  for (size_t i = 0; i < decoded.trace.size(); ++i) {
+    ExpectRecordEqual(decoded.trace[i], outcome.trace[i]);
+  }
+  EXPECT_EQ(decoded.validations, outcome.validations);
+  EXPECT_EQ(decoded.stop_reason, outcome.stop_reason);
+}
+
+// ---- rejection properties --------------------------------------------------
+
+TEST(CodecRejectionTest, NonFiniteDoublesRejectedAtEncode) {
+  SessionSpec spec;
+  spec.validation.target_precision = std::numeric_limits<double>::quiet_NaN();
+  JsonWriter w;
+  EncodeSessionSpec(spec, &w);
+  EXPECT_FALSE(w.Take().ok());
+
+  StepResult step;
+  step.record.entropy = std::numeric_limits<double>::infinity();
+  ApiResponse response;
+  response.result = StepResponse{step};
+  EXPECT_FALSE(EncodeResponse(response).ok());
+}
+
+TEST(CodecRejectionTest, WrongApiVersionRejected) {
+  for (const char* json :
+       {"{\"api_version\":2,\"id\":1,\"method\":\"stats\",\"params\":{}}",
+        "{\"api_version\":0,\"id\":1,\"method\":\"stats\",\"params\":{}}"}) {
+    uint64_t id = 0;
+    auto decoded = DecodeRequest(json, &id);
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(id, 1u) << "id must be salvaged for the error response";
+  }
+  // Missing version entirely.
+  auto decoded = DecodeRequest("{\"id\":1,\"method\":\"stats\"}");
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecRejectionTest, UnknownMethodRejected) {
+  auto decoded = DecodeRequest(
+      "{\"api_version\":1,\"id\":4,\"method\":\"explode\",\"params\":{}}");
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(CodecRejectionTest, TruncatedAndMalformedDocumentsRejected) {
+  ApiRequest request;
+  request.params = AdvanceRequest{3};
+  auto text = EncodeRequest(request);
+  ASSERT_TRUE(text.ok());
+  // Every proper prefix of a valid request must fail to decode cleanly.
+  for (size_t cut = 0; cut < text.value().size(); cut += 7) {
+    auto decoded = DecodeRequest(text.value().substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "accepted prefix of length " << cut;
+  }
+  // Type confusion: session as a string.
+  auto confused = DecodeRequest(
+      "{\"api_version\":1,\"id\":1,\"method\":\"advance\","
+      "\"params\":{\"session\":\"seven\"}}");
+  EXPECT_FALSE(confused.ok());
+}
+
+TEST(CodecRejectionTest, UnknownMembersAreTolerated) {
+  // The forward-compatibility rule: a v1 peer adding NEW members must not
+  // break this decoder.
+  auto decoded = DecodeRequest(
+      "{\"api_version\":1,\"id\":9,\"method\":\"advance\","
+      "\"params\":{\"session\":5,\"future_hint\":{\"x\":[1,2]}},"
+      "\"trace_context\":\"abc\"}");
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(std::get<AdvanceRequest>(decoded.value().params).session, 5u);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("done").Bool(true);
+  w.Key("stop_reason").String("ok");
+  w.Key("from_the_future").UInt(1);
+  w.EndObject();
+  auto parsed = ParseJson(w.Take().value());
+  ASSERT_TRUE(parsed.ok());
+  StepResult step;
+  EXPECT_TRUE(DecodeStepResult(parsed.value(), &step).ok());
+  EXPECT_TRUE(step.done);
+  EXPECT_EQ(step.stop_reason, "ok");
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,226 @@
+#include "api/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace veritas {
+namespace {
+
+Result<JsonValue> WriteAndParse(JsonWriter* writer) {
+  auto text = writer->Take();
+  if (!text.ok()) return text.status();
+  return ParseJson(text.value());
+}
+
+TEST(JsonWriterTest, ObjectArrayNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("veritas");
+  w.Key("count").UInt(3);
+  w.Key("items").BeginArray();
+  w.UInt(1);
+  w.UInt(2);
+  w.BeginObject();
+  w.Key("nested").Bool(true);
+  w.EndObject();
+  w.EndArray();
+  w.Key("none").Null();
+  w.EndObject();
+  auto text = w.Take();
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text.value(),
+            "{\"name\":\"veritas\",\"count\":3,\"items\":[1,2,"
+            "{\"nested\":true}],\"none\":null}");
+}
+
+TEST(JsonWriterTest, MisuseLatchesError) {
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.String("value without a key");
+    EXPECT_FALSE(w.status().ok());
+    EXPECT_FALSE(w.Take().ok());
+  }
+  {
+    JsonWriter w;
+    w.Key("key outside object");
+    EXPECT_FALSE(w.status().ok());
+  }
+  {
+    JsonWriter w;
+    w.BeginObject();
+    EXPECT_FALSE(w.Take().ok());  // unterminated container
+  }
+  {
+    JsonWriter w;
+    w.BeginArray();
+    w.EndObject();  // wrong closer
+    EXPECT_FALSE(w.status().ok());
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRejected) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    JsonWriter w;
+    w.BeginArray();
+    w.Double(bad);
+    w.EndArray();
+    EXPECT_FALSE(w.Take().ok()) << bad;
+  }
+}
+
+TEST(JsonEscapingTest, ControlQuoteBackslashRoundTrip) {
+  // The edge cases the wire protocol must survive: claim texts and error
+  // messages with tabs, quotes, newlines, backslashes and raw controls.
+  const std::string cases[] = {
+      "plain",
+      "tab\there",
+      "quote\"inside",
+      "back\\slash",
+      "new\nline and \r return",
+      std::string("nul\0byte", 8),
+      "\x01\x02\x1f control soup",
+      "unicode \xc3\xa9\xe2\x82\xac bytes",  // UTF-8 passes through verbatim
+      "",
+  };
+  for (const std::string& raw : cases) {
+    JsonWriter w;
+    w.String(raw);
+    auto text = w.Take();
+    ASSERT_TRUE(text.ok());
+    auto parsed = ParseJson(text.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for " << text.value();
+    auto decoded = parsed.value().AsString();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), raw);
+  }
+}
+
+TEST(JsonEscapingTest, UnicodeEscapesDecode) {
+  auto parsed = ParseJson("\"a\\u0041 \\u00e9 \\u20ac \\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto decoded = parsed.value().AsString();
+  ASSERT_TRUE(decoded.ok());
+  // A, e-acute, euro sign, emoji via surrogate pair - all as UTF-8.
+  EXPECT_EQ(decoded.value(), "aA \xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80");
+}
+
+TEST(JsonEscapingTest, BadEscapesRejected) {
+  for (const char* bad :
+       {"\"\\q\"", "\"\\u12\"", "\"\\ud800 unpaired\"", "\"\\udc00\"",
+        "\"unterminated", "\"raw\tcontrol\""}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonNumberTest, U64ExactRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t value = rng.NextU64();
+    JsonWriter w;
+    w.UInt(value);
+    auto parsed = WriteAndParse(&w);
+    ASSERT_TRUE(parsed.ok());
+    auto back = parsed.value().AsU64();
+    ASSERT_TRUE(back.ok()) << back.status();
+    // Exact for the full 64-bit range - the reason numbers keep their raw
+    // literal instead of passing through double.
+    EXPECT_EQ(back.value(), value);
+  }
+  JsonWriter w;
+  w.UInt(UINT64_MAX);
+  auto parsed = WriteAndParse(&w);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsU64().value(), UINT64_MAX);
+}
+
+TEST(JsonNumberTest, DoubleBitExactRoundTrip) {
+  Rng rng(13);
+  std::vector<double> values = {0.0,
+                                -0.0,
+                                1.0 / 3.0,
+                                1e-308,
+                                5e-324,  // smallest denormal
+                                1.7976931348623157e308,
+                                -123456.789e-12};
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.Normal(0.0, 1e6));
+    values.push_back(rng.Uniform(-1.0, 1.0));
+  }
+  for (const double value : values) {
+    JsonWriter w;
+    w.Double(value);
+    auto parsed = WriteAndParse(&w);
+    ASSERT_TRUE(parsed.ok());
+    auto back = parsed.value().AsDouble();
+    ASSERT_TRUE(back.ok()) << back.status();
+    const double decoded = back.value();
+    EXPECT_EQ(std::memcmp(&decoded, &value, sizeof(double)), 0)
+        << "double " << value << " did not round-trip bit-for-bit";
+  }
+}
+
+TEST(JsonNumberTest, TypedAccessorsAreStrict) {
+  auto parsed = ParseJson("{\"f\":1.5,\"neg\":-3,\"exp\":1e3,\"big\":1e999}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().Find("f")->AsU64().ok());
+  EXPECT_FALSE(parsed.value().Find("neg")->AsU64().ok());
+  EXPECT_FALSE(parsed.value().Find("exp")->AsU64().ok());
+  EXPECT_EQ(parsed.value().Find("neg")->AsI64().value(), -3);
+  // 1e999 overflows double -> error instead of a silent infinity.
+  EXPECT_FALSE(parsed.value().Find("big")->AsDouble().ok());
+  // NaN/Infinity are not JSON.
+  EXPECT_FALSE(ParseJson("NaN").ok());
+  EXPECT_FALSE(ParseJson("Infinity").ok());
+  EXPECT_FALSE(ParseJson("-Infinity").ok());
+}
+
+TEST(JsonParserTest, MalformedDocumentsRejected) {
+  const char* cases[] = {
+      "",
+      "{",
+      "}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{\"a\" 1}",
+      "[1,]",
+      "[1 2]",
+      "{\"a\":1}trailing",
+      "tru",
+      "01",          // leading zero
+      "+1",
+      "1.",
+      "1e",
+      "{\"a\":1} {\"b\":2}",
+  };
+  for (const char* bad : cases) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParserTest, DepthLimitBoundsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow = "[[[[[[[[1]]]]]]]]";
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonParserTest, UnknownMembersPreservedInTree) {
+  auto parsed = ParseJson("{\"known\":1,\"unknown\":{\"x\":[true,null]}}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed.value().Find("unknown"), nullptr);
+  EXPECT_EQ(parsed.value().Find("missing"), nullptr);
+  EXPECT_EQ(parsed.value().members().size(), 2u);
+}
+
+}  // namespace
+}  // namespace veritas

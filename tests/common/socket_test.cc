@@ -1,0 +1,146 @@
+#include "common/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace veritas {
+namespace {
+
+TEST(SocketTest, FrameRoundTripOverLoopback) {
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto port = listener.value().LocalPort();
+  ASSERT_TRUE(port.ok());
+
+  std::thread echo([&listener] {
+    auto connection = listener.value().Accept();
+    ASSERT_TRUE(connection.ok()) << connection.status();
+    for (;;) {
+      auto frame = ReadFrame(connection.value());
+      if (!frame.ok()) break;  // client disconnected
+      ASSERT_TRUE(WriteFrame(connection.value(), frame.value()).ok());
+    }
+  });
+
+  auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Binary-unfriendly payloads: embedded NUL, newline, 0xff, empty.
+  const std::string payloads[] = {
+      std::string("hello"), std::string("a\0b\n\xff", 5), std::string()};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(WriteFrame(client.value(), payload).ok());
+    auto echoed = ReadFrame(client.value());
+    ASSERT_TRUE(echoed.ok()) << echoed.status();
+    EXPECT_EQ(echoed.value(), payload);
+  }
+
+  client.value().Shutdown();
+  echo.join();
+}
+
+TEST(SocketTest, OversizedFrameIsRejectedNotAllocated) {
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = listener.value().LocalPort();
+  ASSERT_TRUE(port.ok());
+
+  std::thread sender([&listener] {
+    auto connection = listener.value().Accept();
+    ASSERT_TRUE(connection.ok());
+    // A length prefix claiming 1 GiB, with no payload behind it.
+    const uint8_t prefix[4] = {0x00, 0x00, 0x00, 0x40};
+    ASSERT_TRUE(connection.value().SendAll(prefix, sizeof(prefix)).ok());
+  });
+
+  auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+  ASSERT_TRUE(client.ok());
+  auto frame = ReadFrame(client.value(), kMaxFrameBytes);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  sender.join();
+}
+
+TEST(SocketTest, CleanDisconnectVersusTruncatedFrame) {
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = listener.value().LocalPort();
+  ASSERT_TRUE(port.ok());
+
+  // Connection 1: closed before any frame -> kUnavailable (orderly EOF).
+  {
+    std::thread closer([&listener] {
+      auto connection = listener.value().Accept();
+      ASSERT_TRUE(connection.ok());
+      // Socket destructor closes without sending anything.
+    });
+    auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+    ASSERT_TRUE(client.ok());
+    auto frame = ReadFrame(client.value());
+    EXPECT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+    closer.join();
+  }
+
+  // Connection 2: length prefix promising more bytes than sent ->
+  // kOutOfRange (a truncated frame is corruption, not an orderly close).
+  {
+    std::thread truncator([&listener] {
+      auto connection = listener.value().Accept();
+      ASSERT_TRUE(connection.ok());
+      const uint8_t partial[] = {16, 0, 0, 0, 'h', 'i'};
+      ASSERT_TRUE(connection.value().SendAll(partial, sizeof(partial)).ok());
+    });
+    auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+    ASSERT_TRUE(client.ok());
+    auto frame = ReadFrame(client.value());
+    EXPECT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+    truncator.join();
+  }
+
+  // Connection 3: closed exactly at the prefix/payload boundary — the
+  // prefix promised payload, so this is still a truncated frame, not an
+  // orderly EOF.
+  {
+    std::thread boundary([&listener] {
+      auto connection = listener.value().Accept();
+      ASSERT_TRUE(connection.ok());
+      const uint8_t prefix_only[] = {16, 0, 0, 0};
+      ASSERT_TRUE(
+          connection.value().SendAll(prefix_only, sizeof(prefix_only)).ok());
+    });
+    auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+    ASSERT_TRUE(client.ok());
+    auto frame = ReadFrame(client.value());
+    EXPECT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+    boundary.join();
+  }
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind-then-close yields a port with (very likely) no listener.
+  uint16_t dead_port = 0;
+  {
+    auto listener = Socket::ListenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    auto port = listener.value().LocalPort();
+    ASSERT_TRUE(port.ok());
+    dead_port = port.value();
+  }
+  auto client = Socket::ConnectTcp("127.0.0.1", dead_port);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, BadBindAddressIsInvalidArgument) {
+  auto listener = Socket::ListenTcp("not-an-address", 0);
+  EXPECT_FALSE(listener.ok());
+  EXPECT_EQ(listener.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace veritas

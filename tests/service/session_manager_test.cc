@@ -296,5 +296,100 @@ TEST_F(SessionManagerTest, BudgetWithoutSpillDirectoryRejectsCreation) {
   EXPECT_EQ(manager.stats().sessions_active, 1u);
 }
 
+TEST_F(SessionManagerTest, ListSessionsReportsModeResidencyAndSteps) {
+  auto corpus = MakeTinyCorpus(10);
+  SessionManager manager;
+  EXPECT_TRUE(manager.ListSessions().empty());
+
+  auto batch = manager.Create(corpus.db, BatchSpec(1, 3));
+  auto streaming = manager.Create(corpus.db, StreamingSpec(2, 3));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(streaming.ok());
+
+  ASSERT_TRUE(manager.Advance(batch.value()).ok());
+  ASSERT_TRUE(manager.Advance(batch.value()).ok());
+  ASSERT_TRUE(manager.Advance(streaming.value()).ok());
+
+  auto sessions = manager.ListSessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  // Id order, metadata per session.
+  EXPECT_EQ(sessions[0].id, batch.value());
+  EXPECT_EQ(sessions[0].mode, SessionMode::kBatch);
+  EXPECT_TRUE(sessions[0].resident);
+  EXPECT_EQ(sessions[0].steps_served, 2u);
+  EXPECT_GT(sessions[0].footprint_bytes, 0u);
+  EXPECT_EQ(sessions[1].id, streaming.value());
+  EXPECT_EQ(sessions[1].mode, SessionMode::kStreaming);
+  EXPECT_EQ(sessions[1].steps_served, 1u);
+
+  // Termination removes the row.
+  ASSERT_TRUE(manager.Terminate(batch.value()).ok());
+  sessions = manager.ListSessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].id, streaming.value());
+}
+
+TEST_F(SessionManagerTest, ServiceStatsCountsStepsAcrossTerminations) {
+  auto corpus = MakeTinyCorpus(10);
+  SessionManager manager;
+  auto a = manager.Create(corpus.db, BatchSpec(1, 3));
+  auto b = manager.Create(corpus.db, BatchSpec(2, 3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(manager.Advance(a.value()).ok());
+  ASSERT_TRUE(manager.Advance(b.value()).ok());
+  EXPECT_EQ(manager.stats().steps_served, 3u);
+  EXPECT_EQ(manager.stats().sessions_spilled, 0u);
+
+  // Steps of a terminated session stay in the aggregate: the counter is a
+  // service-lifetime figure, not a sum over live sessions.
+  ASSERT_TRUE(manager.Terminate(a.value()).ok());
+  ASSERT_TRUE(manager.Advance(b.value()).ok());
+  const ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.steps_served, 4u);
+  EXPECT_EQ(stats.sessions_created, 2u);
+  EXPECT_EQ(stats.sessions_active, 1u);
+}
+
+TEST_F(SessionManagerTest, ListSessionsSeesSpilledSessionsWithoutRestoring) {
+  auto corpus = MakeTinyCorpus(16);
+  size_t one_session_bytes = 0;
+  {
+    SessionManager probe;
+    ASSERT_TRUE(probe.Create(corpus.db, BatchSpec(100, 3)).ok());
+    one_session_bytes = probe.stats().resident_bytes;
+  }
+  SessionManagerOptions options;
+  options.memory_budget_bytes = one_session_bytes + one_session_bytes / 2;
+  options.spill_directory = dir_;
+  SessionManager manager(options);
+  std::vector<SessionId> ids;
+  for (uint64_t s = 0; s < 3; ++s) {
+    auto id = manager.Create(corpus.db, BatchSpec(100 + s, 3));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+    ASSERT_TRUE(manager.Advance(id.value()).ok());
+  }
+  const ServiceStats before = manager.stats();
+  ASSERT_GT(before.sessions_spilled, 0u) << "budget never forced a spill";
+  EXPECT_EQ(before.sessions_spilled + before.sessions_resident,
+            before.sessions_active);
+
+  // Listing reports every session - including spilled ones - from cached
+  // metadata: spill_restores must not move.
+  auto sessions = manager.ListSessions();
+  ASSERT_EQ(sessions.size(), 3u);
+  size_t resident = 0, spilled = 0;
+  for (const SessionInfo& info : sessions) {
+    EXPECT_EQ(info.steps_served, 1u);
+    EXPECT_EQ(info.mode, SessionMode::kBatch);
+    (info.resident ? resident : spilled) += 1;
+  }
+  EXPECT_EQ(resident, before.sessions_resident);
+  EXPECT_EQ(spilled, before.sessions_spilled);
+  EXPECT_EQ(manager.stats().spill_restores, before.spill_restores)
+      << "ListSessions forced a restore";
+}
+
 }  // namespace
 }  // namespace veritas
