@@ -22,17 +22,27 @@
 // codec-only microbenchmark, reporting the per-step cost the protocol adds
 // on top of step compute. bench_report.sh records the "# socket" footers
 // into BENCH_guidance.json.
+//
+// --fleet switches to the fleet mode (DESIGN.md §11): the event-loop front
+// end vs thread-per-connection under 64 concurrent think-time-bound
+// sessions, then the SessionRouter's 1/2/4-backend scaling curve with
+// sessions consistent-hashed across in-process worker stacks.
+// bench_report.sh records the "# fleet" footers into BENCH_guidance.json.
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "api/client.h"
 #include "api/codec.h"
+#include "api/event_server.h"
 #include "api/server.h"
+#include "api/service.h"
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
+#include "fleet/router.h"
 #include "service/request_queue.h"
 
 namespace veritas {
@@ -334,10 +344,206 @@ int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
   return overhead_ms <= limit_ms ? 0 : 1;
 }
 
+// ---- fleet mode (DESIGN.md §11) --------------------------------------------
+
+/// One backend worker: the full veritas_server stack behind an event-loop
+/// transport, owned in-process so the bench controls its lifetime.
+struct FleetWorker {
+  std::unique_ptr<SessionManager> manager;
+  std::unique_ptr<RequestQueue> queue;
+  std::unique_ptr<GuidanceApi> api;
+  std::unique_ptr<WireServer> server;
+};
+
+FleetWorker StartFleetWorker(size_t queue_workers) {
+  FleetWorker worker;
+  worker.manager = std::make_unique<SessionManager>();
+  RequestQueueOptions queue_options;
+  queue_options.num_workers = queue_workers;
+  worker.queue =
+      std::make_unique<RequestQueue>(worker.manager.get(), queue_options);
+  worker.api =
+      std::make_unique<GuidanceApi>(worker.manager.get(), worker.queue.get());
+  EventApiServerOptions server_options;
+  // Dispatch must outnumber queue workers: a dispatch thread blocks on the
+  // queue future, so fewer dispatchers than queue workers starves the queue.
+  server_options.dispatch_workers = queue_workers + 4;
+  auto server = EventApiServer::Start(worker.api.get(), server_options);
+  if (!server.ok()) {
+    std::cerr << "worker start failed: " << server.status() << "\n";
+    std::exit(1);
+  }
+  worker.server = std::move(server).value();
+  return worker;
+}
+
+/// Closed-loop drive: `sessions` client threads each run one think-time-
+/// bound batch session to completion against host:port. Session creation
+/// is OUTSIDE the timed window — creates are CPU-bound inference that no
+/// fleet parallelizes on a small host; the timed phase starts once every
+/// session exists, so steps/s measures the steady-state serving regime.
+double DriveClosedLoop(const EmulatedCorpus& corpus, uint16_t port,
+                       size_t sessions, size_t budget, double latency_ms,
+                       uint64_t seed) {
+  std::atomic<size_t> steps{0};
+  std::atomic<size_t> ready{0};
+  std::promise<void> start;
+  std::shared_future<void> start_signal = start.get_future().share();
+  std::vector<std::thread> drivers;
+  drivers.reserve(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    drivers.emplace_back([&, s] {
+      auto client = ApiClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        std::cerr << "connect failed: " << client.status() << "\n";
+        std::exit(1);
+      }
+      auto id = client.value()->CreateSession(
+          corpus.db, ServiceBatchSpec(seed + s, budget, latency_ms));
+      if (!id.ok()) {
+        std::cerr << "create failed: " << id.status() << "\n";
+        std::exit(1);
+      }
+      ++ready;
+      start_signal.wait();
+      for (;;) {
+        auto step = client.value()->Advance(id.value());
+        if (!step.ok()) {
+          std::cerr << "advance failed: " << step.status() << "\n";
+          std::exit(1);
+        }
+        if (step.value().iteration_completed) ++steps;
+        if (step.value().done) break;
+      }
+      auto outcome = client.value()->Terminate(id.value());
+      if (!outcome.ok()) {
+        std::cerr << "terminate failed: " << outcome.status() << "\n";
+        std::exit(1);
+      }
+    });
+  }
+  while (ready.load() < sessions) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stopwatch wall;
+  start.set_value();
+  for (std::thread& driver : drivers) driver.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  return static_cast<double>(steps.load()) / wall_seconds;
+}
+
+/// Fleet mode: (A) event-loop vs thread-per-connection front ends under 64
+/// concurrent connections on one stack, then (B) the router's 1->N backend
+/// scaling curve. Both parts are think-time-bound (the oracle sleeps
+/// latency_ms inside each step), so the curves measure MULTIPLEXING — how
+/// many waiting sessions a transport/fleet keeps in flight — not raw
+/// compute, and hold their shape on any core count.
+int RunFleetMode(const EmulatedCorpus& corpus, double latency_ms,
+                 uint64_t seed) {
+  const double think_ms = latency_ms >= 0.0 ? latency_ms : 40.0;
+  const size_t kConnections = 64;
+  const size_t kBudget = 3;
+
+  // Part A: same worker stack (16 queue workers), two transports.
+  double threaded_steps = 0.0;
+  double event_steps = 0.0;
+  {
+    SessionManager manager;
+    RequestQueueOptions queue_options;
+    queue_options.num_workers = 16;
+    RequestQueue queue(&manager, queue_options);
+    GuidanceApi api(&manager, &queue);
+    auto server = ApiServer::Start(&api);
+    if (!server.ok()) {
+      std::cerr << "threaded server start failed: " << server.status() << "\n";
+      return 1;
+    }
+    threaded_steps = DriveClosedLoop(corpus, server.value()->port(),
+                                     kConnections, kBudget, think_ms, seed);
+    server.value()->Stop();
+  }
+  {
+    FleetWorker worker = StartFleetWorker(16);
+    event_steps = DriveClosedLoop(corpus, worker.server->port(), kConnections,
+                                  kBudget, think_ms, seed);
+    worker.server->Stop();
+  }
+  const double event_ratio =
+      threaded_steps > 0.0 ? event_steps / threaded_steps : 0.0;
+
+  // Part B: router scaling. Each backend gets 4 queue workers; 64 sessions
+  // consistent-hash across them (64 sessions: enough keys for the ring to spread load evenly). Capacity is (4 * backends) / think_time,
+  // so the curve rises with the fleet until the 64 closed-loop clients
+  // saturate. Checkpointing off: this measures routing, not durability.
+  // Longer sessions than part A: session creation is CPU-bound compute that
+  // no fleet parallelizes on a small host, so enough think-bound steps must
+  // follow each create for the scaling signal to dominate that fixed cost.
+  const size_t kFleetBudget = 8;
+  TextTable table;
+  table.SetHeader({"backends", "steps/s"});
+  double steps_1b = 0.0;
+  double steps_4b = 0.0;
+  std::vector<double> curve;
+  for (const size_t backends : {1, 2, 4}) {
+    std::vector<FleetWorker> workers;
+    SessionRouterOptions router_options;
+    for (size_t b = 0; b < backends; ++b) {
+      workers.push_back(StartFleetWorker(4));
+      router_options.backends.push_back(
+          "127.0.0.1:" + std::to_string(workers.back().server->port()));
+    }
+    router_options.checkpoint_interval = 0;
+    auto router = SessionRouter::Start(router_options);
+    if (!router.ok()) {
+      std::cerr << "router start failed: " << router.status() << "\n";
+      return 1;
+    }
+    // Threaded front: one forwarding thread per client keeps the router
+    // out of the measurement (the backends are the bottleneck under test).
+    auto front = ApiServer::Start(router.value().get());
+    if (!front.ok()) {
+      std::cerr << "front start failed: " << front.status() << "\n";
+      return 1;
+    }
+    const double steps_per_s = DriveClosedLoop(
+        corpus, front.value()->port(), 64, kFleetBudget, think_ms, seed);
+    if (backends == 1) steps_1b = steps_per_s;
+    if (backends == 4) steps_4b = steps_per_s;
+    curve.push_back(steps_per_s);
+    table.AddNumericRow(std::to_string(backends), {steps_per_s}, 2);
+    front.value()->Stop();
+    for (FleetWorker& worker : workers) worker.server->Stop();
+  }
+  table.Print(std::cout);
+
+  const double scaling = steps_1b > 0.0 ? steps_4b / steps_1b : 0.0;
+  std::cout << "# fleet threaded_steps_per_s = " << threaded_steps << "\n";
+  std::cout << "# fleet event_steps_per_s = " << event_steps << "\n";
+  std::cout << "# fleet event_over_threaded = " << event_ratio << "\n";
+  const size_t backend_counts[] = {1, 2, 4};
+  for (size_t i = 0; i < curve.size(); ++i) {
+    std::cout << "# fleet backends=" << backend_counts[i]
+              << " steps_per_s = " << curve[i] << "\n";
+  }
+  std::cout << "# fleet scaling_4b_over_1b = " << scaling << "\n";
+
+  const bool event_ok = event_ratio >= 0.9;
+  const bool scaling_ok = scaling >= 2.5;
+  PrintShapeCheck(event_ok,
+                  "event loop sustains >= 90% of thread-per-connection "
+                  "throughput at 64 connections");
+  PrintShapeCheck(scaling_ok,
+                  "4 backends deliver >= 2.5x the routed step throughput "
+                  "of 1 backend (think-time-bound sessions spread by the "
+                  "consistent-hash ring)");
+  return event_ok && scaling_ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseBenchArgs(argc, argv);
   WorkloadSpec work;
   bool socket_mode = false;
+  bool fleet_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--latency=", 0) == 0) work.latency_ms = std::stod(arg.substr(10));
@@ -345,6 +551,7 @@ int Main(int argc, char** argv) {
       work.steps_per_batch_session = static_cast<size_t>(std::stoul(arg.substr(8)));
     }
     if (arg == "--socket") socket_mode = true;
+    if (arg == "--fleet") fleet_mode = true;
   }
 
   // A small corpus per session: the service regime is many light sessions,
@@ -355,6 +562,27 @@ int Main(int argc, char** argv) {
   if (!corpus.ok()) {
     std::cerr << "corpus generation failed: " << corpus.status() << "\n";
     return 1;
+  }
+
+  if (fleet_mode) {
+    // Fleet mode gets an even smaller per-session corpus than the service
+    // workload: it measures MULTIPLEXING (how many waiting sessions a
+    // transport or fleet keeps in flight), so per-step compute must stay
+    // negligible against think time — on a single-core host, step compute
+    // serializes across backends and would flatten the scaling curve.
+    CorpusSpec fleet_spec = Scaled(WikipediaSpec(), 0.1 * args.scale);
+    Rng fleet_rng(args.seed ^ 0xf1ee7ULL);
+    auto fleet_corpus = GenerateCorpus(fleet_spec, &fleet_rng);
+    if (!fleet_corpus.ok()) {
+      std::cerr << "corpus generation failed: " << fleet_corpus.status()
+                << "\n";
+      return 1;
+    }
+    std::cout << "Fleet mode - event loop vs threaded at 64 connections, "
+                 "then router scaling over 1/2/4 backends ("
+              << fleet_corpus.value().db.num_claims()
+              << " claims per session)\n";
+    return RunFleetMode(fleet_corpus.value(), work.latency_ms, args.seed);
   }
 
   if (socket_mode) {

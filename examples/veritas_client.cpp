@@ -6,10 +6,16 @@
 // this side of the socket — only the protocol.
 //
 //   ./examples/example_veritas_client [--host=H] [--port=N] [--claims=N]
-//                                     [--budget=N] [--seed=N]
+//                                     [--budget=N] [--seed=N] [--think=MS]
+//
+//   --think=MS   sleep MS milliseconds before each answer, emulating a
+//                human validator's think time (keeps sessions long enough
+//                for the fleet smoke to kill a worker mid-run)
 
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "api/client.h"
 #include "common/rng.h"
@@ -25,7 +31,7 @@ using examples::UsageError;
 namespace {
 
 constexpr char kUsage[] =
-    "[--host=H] [--port=N] [--claims=N] [--budget=N] [--seed=N]";
+    "[--host=H] [--port=N] [--claims=N] [--budget=N] [--seed=N] [--think=MS]";
 
 }  // namespace
 
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   size_t claims = 20;
   size_t budget = 5;
   size_t seed = 42;
+  size_t think_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -52,6 +59,8 @@ int main(int argc, char** argv) {
       }
     } else if (FlagValue(arg, "seed", &value)) {
       if (!ParseSize(value, &seed)) UsageError(argv[0], kUsage, arg);
+    } else if (FlagValue(arg, "think", &value)) {
+      if (!ParseSize(value, &think_ms)) UsageError(argv[0], kUsage, arg);
     } else {
       UsageError(argv[0], kUsage, arg);
     }
@@ -119,6 +128,9 @@ int main(int argc, char** argv) {
       answers.claims.push_back(claim);
       answers.answers.push_back(
           db.has_ground_truth(claim) && db.ground_truth(claim) ? 1 : 0);
+    }
+    if (think_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(think_ms));
     }
     auto answered = client.Answer(session.value(), answers);
     if (!answered.ok()) {

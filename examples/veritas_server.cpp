@@ -2,22 +2,29 @@
 // (DESIGN.md §10) — a SessionManager + RequestQueue worker pool fronted by
 // the length-prefix-framed JSON protocol on a loopback TCP port. Pair it
 // with examples/veritas_client (or any client speaking the protocol) to
-// drive fact-checking sessions from another process.
+// drive fact-checking sessions from another process, or put N of these
+// behind examples/veritas_router for a fleet (DESIGN.md §11).
 //
 //   ./examples/example_veritas_server [--port=N] [--port-file=PATH]
-//                                     [--workers=N] [--once]
+//                                     [--workers=N] [--threaded] [--once]
 //
 //   --port=N        TCP port to listen on (default 0 = ephemeral; the
 //                   assigned port is printed and written to --port-file)
 //   --port-file=P   write the bound port to file P (for scripts)
-//   --workers=N     RequestQueue worker threads (default 2)
+//   --workers=N     RequestQueue worker threads (default 2); the event
+//                   loop's dispatch pool is sized to match
+//   --threaded      thread-per-connection transport (api/server.h) instead
+//                   of the default epoll event loop (api/event_server.h)
 //   --once          exit after the first client disconnects (CI smoke)
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "api/event_server.h"
 #include "api/server.h"
+#include "api/service.h"
 #include "examples/example_args.h"
 
 using namespace veritas;
@@ -28,7 +35,8 @@ using examples::UsageError;
 
 namespace {
 
-constexpr char kUsage[] = "[--port=N] [--port-file=PATH] [--workers=N] [--once]";
+constexpr char kUsage[] =
+    "[--port=N] [--port-file=PATH] [--workers=N] [--threaded] [--once]";
 
 }  // namespace
 
@@ -36,6 +44,7 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   std::string port_file;
   size_t workers = 2;
+  bool threaded = false;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,6 +57,8 @@ int main(int argc, char** argv) {
       if (!ParseSize(value, &workers) || workers == 0) {
         UsageError(argv[0], kUsage, arg);
       }
+    } else if (arg == "--threaded") {
+      threaded = true;
     } else if (arg == "--once") {
       once = true;
     } else {
@@ -61,35 +72,49 @@ int main(int argc, char** argv) {
   RequestQueue queue(&manager, queue_options);
   GuidanceApi api(&manager, &queue);
 
-  ApiServerOptions server_options;
-  server_options.port = port;
-  auto server = ApiServer::Start(&api, server_options);
-  if (!server.ok()) {
-    std::cerr << "server start failed: " << server.status() << "\n";
-    return 1;
+  std::unique_ptr<WireServer> server;
+  if (threaded) {
+    ApiServerOptions server_options;
+    server_options.port = port;
+    auto started = ApiServer::Start(&api, server_options);
+    if (!started.ok()) {
+      std::cerr << "server start failed: " << started.status() << "\n";
+      return 1;
+    }
+    server = std::move(started).value();
+  } else {
+    EventApiServerOptions server_options;
+    server_options.port = port;
+    server_options.dispatch_workers = workers;
+    auto started = EventApiServer::Start(&api, server_options);
+    if (!started.ok()) {
+      std::cerr << "server start failed: " << started.status() << "\n";
+      return 1;
+    }
+    server = std::move(started).value();
   }
-  std::cout << "veritas_server listening on 127.0.0.1:"
-            << server.value()->port() << " (" << workers << " workers, api v"
-            << kApiVersion << ")\n";
+  std::cout << "veritas_server listening on 127.0.0.1:" << server->port()
+            << " (" << (threaded ? "threaded" : "event loop") << ", "
+            << workers << " workers, api v" << kApiVersion << ")\n";
   if (!port_file.empty()) {
     std::ofstream out(port_file);
     if (!out) {
       std::cerr << "cannot write port file " << port_file << "\n";
       return 1;
     }
-    out << server.value()->port() << "\n";
+    out << server->port() << "\n";
   }
 
   if (once) {
-    server.value()->WaitForConnections(1);
+    server->WaitForConnections(1);
     const ServiceStats stats = manager.stats();
     std::cout << "served 1 connection (" << stats.steps_served
               << " steps, " << stats.sessions_created
               << " sessions created); exiting\n";
-    server.value()->Stop();
+    server->Stop();
     return 0;
   }
   std::cout << "serving until interrupted (Ctrl-C)\n";
-  server.value()->WaitForConnections(SIZE_MAX);  // blocks forever
+  server->WaitForConnections(SIZE_MAX);  // blocks forever
   return 0;
 }

@@ -4,7 +4,9 @@
 # multi-session service throughput bench (bench_service_throughput: open-
 # loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9), its --socket
 # wire-overhead mode (per-step codec+transport cost of the JSON-over-TCP
-# loopback API, DESIGN.md §10) plus the HypotheticalEngine micro-kernels
+# loopback API, DESIGN.md §10), its --fleet mode (event-loop vs threaded
+# front end and the session router's 1/2/4-backend scaling curve,
+# DESIGN.md §11) plus the HypotheticalEngine micro-kernels
 # from bench_micro_kernels (when Google Benchmark is available), and emits
 # BENCH_guidance.json next to the repo root. The committed scripts/bench_baseline_fig02.json (pre-refactor
 # capture) is embedded so every future PR has a perf trajectory to compare
@@ -74,6 +76,28 @@ socket_overhead="$(socket_field overhead_ms_per_step)"
 socket_codec_us="$(socket_field codec_us_per_roundtrip)"
 socket_bytes="$(socket_field step_response_bytes)"
 
+# Fleet scaling (bench_service_throughput --fleet, DESIGN.md §11): the
+# event-loop front end vs thread-per-connection at 64 connections, and the
+# router's 1/2/4-backend scaling curve over think-time-bound sessions.
+fleet_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt" "$service_txt" "$socket_txt" "$fleet_txt"' EXIT
+"$build_dir"/bench/bench_service_throughput --fleet | tee "$fleet_txt"
+
+fleet_field() {
+  awk -v key="$1" '$0 ~ "^# fleet " key " = " { print $NF }' "$fleet_txt"
+}
+fleet_threaded="$(fleet_field threaded_steps_per_s)"
+fleet_event="$(fleet_field event_steps_per_s)"
+fleet_event_ratio="$(fleet_field event_over_threaded)"
+fleet_scaling="$(fleet_field scaling_4b_over_1b)"
+fleet_rows="$(awk '
+  /^# fleet backends=/ {
+    split($3, kv, "=");
+    if (count++) printf ",\n";
+    printf "    {\"backends\": %s, \"steps_per_s\": %s}", kv[2], $NF
+  }
+' "$fleet_txt")"
+
 # Micro-kernels (optional: needs Google Benchmark at configure time).
 micro_json="null"
 if cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_kernels \
@@ -117,6 +141,16 @@ fi
   echo "    \"codec_transport_overhead_ms_per_step\": ${socket_overhead:-null},"
   echo "    \"codec_us_per_roundtrip\": ${socket_codec_us:-null},"
   echo "    \"step_response_bytes\": ${socket_bytes:-null}"
+  echo "  },"
+  echo "  \"fleet_scaling\": {"
+  echo "    \"workload\": \"closed-loop think-time-bound sessions over the session router (bench_service_throughput --fleet)\","
+  echo "    \"threaded_steps_per_s_64conns\": ${fleet_threaded:-null},"
+  echo "    \"event_loop_steps_per_s_64conns\": ${fleet_event:-null},"
+  echo "    \"event_over_threaded\": ${fleet_event_ratio:-null},"
+  echo "    \"scaling_4b_over_1b\": ${fleet_scaling:-null},"
+  echo "    \"rows\": ["
+  printf '%s\n' "$fleet_rows"
+  echo "    ]"
   echo "  },"
   echo "  \"pre_refactor_baseline\": $baseline_json,"
   echo "  \"micro_kernels\": $micro_json"

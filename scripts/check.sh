@@ -11,9 +11,11 @@
 #        SMOKE=0 scripts/check.sh [build-dir]  (skip the smoke — for CI,
 #                                               which runs it as its own step)
 #
-# The default path ends with the server/client loopback smoke: a
-# veritas_server on an ephemeral port driven by a veritas_client session
-# over the wire protocol (DESIGN.md §10).
+# The default path ends with two smokes: the server/client loopback smoke
+# (a veritas_server on an ephemeral port driven by a veritas_client session
+# over the wire protocol, DESIGN.md §10) and the fleet failover smoke (a
+# veritas_router over two workers, one worker killed mid-session, the
+# client finishing on the survivor, DESIGN.md §11).
 #
 # ASAN=1 builds with Address + UndefinedBehavior sanitizers and runs the
 # crf/ and core/ suites — the ones exercising the HypotheticalEngine
@@ -80,8 +82,110 @@ run_smoke() {
   echo "smoke: PASS"
 }
 
+# Fleet failover smoke: a veritas_router fronting two veritas_server
+# workers with per-step checkpointing; the worker hosting the session is
+# killed (-9) mid-run and the client must finish, bit-for-bit on the
+# surviving worker, with the router logging the failover.
+run_fleet_smoke() {
+  local build_dir="$1"
+  echo "== fleet failover smoke (veritas_router + 2 workers, kill one)"
+  cmake --build "$build_dir" -j "$(nproc)" --target \
+    example_veritas_server example_veritas_client example_veritas_router \
+    > /dev/null
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  local status=0
+  local worker_pids=()
+  local backends=""
+  for w in 1 2; do
+    rm -f "$tmp_dir/worker$w.port"
+    "$build_dir"/examples/example_veritas_server \
+      --port=0 --port-file="$tmp_dir/worker$w.port" &
+    worker_pids+=($!)
+  done
+  for w in 1 2; do
+    for _ in $(seq 1 100); do
+      [[ -s "$tmp_dir/worker$w.port" ]] && break
+      sleep 0.1
+    done
+    if [[ ! -s "$tmp_dir/worker$w.port" ]]; then
+      echo "fleet smoke: worker $w never published its port" >&2
+      kill "${worker_pids[@]}" 2> /dev/null || true
+      rm -rf "$tmp_dir"
+      return 1
+    fi
+    backends="${backends:+$backends,}127.0.0.1:$(cat "$tmp_dir/worker$w.port")"
+  done
+  rm -f "$tmp_dir/router.port"
+  "$build_dir"/examples/example_veritas_router \
+    --backends="$backends" --port=0 --port-file="$tmp_dir/router.port" \
+    --checkpoint-dir="$tmp_dir/ckpt" --checkpoint-interval=1 \
+    > "$tmp_dir/router.log" &
+  local router_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp_dir/router.port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$tmp_dir/router.port" ]]; then
+    echo "fleet smoke: router never published its port" >&2
+    kill "$router_pid" "${worker_pids[@]}" 2> /dev/null || true
+    rm -rf "$tmp_dir"
+    return 1
+  fi
+  # Slow session (300ms per answer, 8 steps) so the kill lands mid-run.
+  timeout 90 "$build_dir"/examples/example_veritas_client \
+    --port="$(cat "$tmp_dir/router.port")" --claims=60 --budget=8 \
+    --think=300 > "$tmp_dir/client.log" 2>&1 &
+  local client_pid=$!
+  # Kill the worker hosting the session once the router logs its placement.
+  local placed=""
+  for _ in $(seq 1 100); do
+    placed="$(grep -o 'routed to backend 127.0.0.1:[0-9]*' \
+      "$tmp_dir/router.log" 2> /dev/null | head -1 | grep -o '[0-9]*$')" \
+      || true
+    [[ -n "$placed" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$placed" ]]; then
+    echo "fleet smoke: router never placed the session" >&2
+    status=1
+  else
+    sleep 0.8  # let a few steps land first
+    for pid in "${worker_pids[@]}"; do
+      local port_of_pid=""
+      for w in 1 2; do
+        [[ "$(cat "$tmp_dir/worker$w.port")" == "$placed" ]] \
+          && port_of_pid="${worker_pids[$((w - 1))]}"
+      done
+      if [[ "$pid" == "$port_of_pid" ]]; then
+        echo "fleet smoke: killing worker on port $placed (pid $pid)"
+        kill -9 "$pid" || status=1
+      fi
+    done
+    wait "$client_pid" || {
+      echo "fleet smoke: client failed after worker kill" >&2
+      cat "$tmp_dir/client.log" >&2
+      status=1
+    }
+    if ! grep -q 'failed over' "$tmp_dir/router.log"; then
+      echo "fleet smoke: router never logged a failover" >&2
+      cat "$tmp_dir/router.log" >&2
+      status=1
+    fi
+  fi
+  kill "$router_pid" "${worker_pids[@]}" 2> /dev/null || true
+  wait 2> /dev/null || true
+  rm -rf "$tmp_dir"
+  if [[ "$status" != 0 ]]; then
+    echo "fleet smoke: FAILED" >&2
+    return 1
+  fi
+  echo "fleet smoke: PASS"
+}
+
 if [[ "${SMOKE:-0}" == "1" ]]; then
   run_smoke "${1:-build}"
+  run_fleet_smoke "${1:-build}"
   exit
 fi
 
@@ -96,7 +200,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   cmake --build "$build_dir" -j "$(nproc)"
   status=0
   for suite in "$build_dir"/tests/service_*_test "$build_dir"/tests/api_*_test \
-               "$build_dir"/tests/crf_*_test \
+               "$build_dir"/tests/fleet_*_test "$build_dir"/tests/crf_*_test \
                "$build_dir"/tests/common_thread_pool_test \
                "$build_dir"/tests/common_socket_test; do
     echo "== ${suite##*/}"

@@ -4,12 +4,12 @@
 
 namespace veritas {
 
-ApiServer::ApiServer(GuidanceApi* api, const ApiServerOptions& options)
-    : api_(api), options_(options) {}
+ApiServer::ApiServer(FrameHandler* handler, const ApiServerOptions& options)
+    : handler_(handler), options_(options) {}
 
 Result<std::unique_ptr<ApiServer>> ApiServer::Start(
-    GuidanceApi* api, const ApiServerOptions& options) {
-  std::unique_ptr<ApiServer> server(new ApiServer(api, options));
+    FrameHandler* handler, const ApiServerOptions& options) {
+  std::unique_ptr<ApiServer> server(new ApiServer(handler, options));
   auto listener = Socket::ListenTcp(options.bind_address, options.port);
   if (!listener.ok()) return listener.status();
   server->listener_ = std::move(listener).value();
@@ -61,7 +61,7 @@ void ApiServer::ServeConnection(Socket connection, size_t slot) {
   for (;;) {
     auto frame = ReadFrame(connection, options_.max_frame_bytes);
     if (!frame.ok()) break;  // disconnect (clean or otherwise)
-    if (!WriteFrame(connection, api_->HandleJson(frame.value())).ok()) break;
+    if (!WriteFrame(connection, handler_->HandleFrame(frame.value())).ok()) break;
   }
   std::lock_guard<std::mutex> lock(mu_);
   connection_fds_[slot] = -1;

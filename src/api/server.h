@@ -1,11 +1,13 @@
 /// \file
-/// Length-prefix-framed TCP loopback server of the guidance API (DESIGN.md
-/// §10): accepts connections on a background thread and serves each one
-/// from its own handler thread — one frame in (a JSON request envelope),
-/// one frame out (the response envelope), strictly in order per
-/// connection. Concurrency across sessions comes from concurrent
-/// connections plus the RequestQueue worker pool behind the GuidanceApi;
-/// a single connection behaves like a single in-process caller.
+/// Length-prefix-framed TCP server of the guidance API (DESIGN.md §10),
+/// thread-per-connection flavor: accepts connections on a background thread
+/// and serves each one from its own handler thread — one frame in (a JSON
+/// request envelope), one frame out (the response envelope), strictly in
+/// order per connection. Concurrency across sessions comes from concurrent
+/// connections plus whatever worker pool sits behind the FrameHandler; a
+/// single connection behaves like a single in-process caller. For
+/// thousands of mostly-idle connections use the epoll event-loop flavor
+/// (api/event_server.h), which multiplexes them without a thread each.
 
 #ifndef VERITAS_API_SERVER_H_
 #define VERITAS_API_SERVER_H_
@@ -18,7 +20,7 @@
 #include <thread>
 #include <vector>
 
-#include "api/service.h"
+#include "api/frame_handler.h"
 #include "common/socket.h"
 
 namespace veritas {
@@ -36,39 +38,40 @@ struct ApiServerOptions {
 /// A running API server. Start() binds and begins accepting; Stop() (also
 /// run by the destructor) shuts the listener and every live connection
 /// down and joins all threads.
-class ApiServer {
+class ApiServer : public WireServer {
  public:
-  /// `api` must outlive the server.
+  /// `handler` (a GuidanceApi, a SessionRouter, ...) must outlive the
+  /// server.
   static Result<std::unique_ptr<ApiServer>> Start(
-      GuidanceApi* api, const ApiServerOptions& options = {});
+      FrameHandler* handler, const ApiServerOptions& options = {});
 
-  ~ApiServer();
+  ~ApiServer() override;
 
   ApiServer(const ApiServer&) = delete;
   ApiServer& operator=(const ApiServer&) = delete;
 
   /// The bound port (resolves the ephemeral-port case).
-  uint16_t port() const { return port_; }
+  uint16_t port() const override { return port_; }
 
   /// Connections accepted and since fully served (client disconnected).
-  size_t connections_served() const;
+  size_t connections_served() const override;
 
   /// Blocks until at least `count` connections have been served. Lets a
   /// serve-one-client process (examples/veritas_server --once) exit without
   /// polling.
-  void WaitForConnections(size_t count);
+  void WaitForConnections(size_t count) override;
 
   /// Idempotent shutdown: closes the listener, severs live connections,
   /// joins every thread.
-  void Stop();
+  void Stop() override;
 
  private:
-  ApiServer(GuidanceApi* api, const ApiServerOptions& options);
+  ApiServer(FrameHandler* handler, const ApiServerOptions& options);
 
   void AcceptLoop();
   void ServeConnection(Socket connection, size_t slot);
 
-  GuidanceApi* api_;
+  FrameHandler* handler_;
   ApiServerOptions options_;
   Socket listener_;
   uint16_t port_ = 0;

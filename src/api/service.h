@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "api/frame_handler.h"
 #include "api/wire.h"
 #include "service/request_queue.h"
 #include "service/session_manager.h"
@@ -23,8 +24,9 @@ namespace veritas {
 /// Stateless request dispatcher over a SessionManager (+ optional
 /// RequestQueue). Thread-safe: it holds no mutable state of its own, and
 /// both backends are internally synchronized — the loopback server calls
-/// Handle from one thread per connection.
-class GuidanceApi {
+/// Handle from one thread per connection. As a FrameHandler it plugs into
+/// either server transport (api/server.h, api/event_server.h).
+class GuidanceApi : public FrameHandler {
  public:
   /// `manager` must outlive the api. `queue` (optional, must be built over
   /// the same manager) routes step requests through admission control; a
@@ -40,6 +42,11 @@ class GuidanceApi {
   /// with the request id when the envelope yielded one); this function
   /// always returns a valid response document.
   std::string HandleJson(const std::string& request_json);
+
+  /// FrameHandler: a frame is one JSON envelope.
+  std::string HandleFrame(const std::string& request_frame) override {
+    return HandleJson(request_frame);
+  }
 
   SessionManager* manager() { return manager_; }
 

@@ -1,9 +1,11 @@
 #include "common/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -18,6 +20,19 @@ namespace {
 
 std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
+}
+
+bool IsWouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+/// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT), retrying
+/// EINTR. Lets the *All calls make progress on a non-blocking descriptor.
+void PollFor(int fd, short events) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+  }
 }
 
 }  // namespace
@@ -112,6 +127,30 @@ Result<Socket> Socket::Accept() const {
   }
 }
 
+Result<std::optional<Socket>> Socket::TryAccept() const {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::optional<Socket>(Socket(fd));
+    }
+    if (errno == EINTR) continue;
+    if (IsWouldBlock(errno)) return std::optional<Socket>();
+    return Status::Unavailable(Errno("Socket: accept()"));
+  }
+}
+
+Status Socket::SetNonBlocking(bool enabled) const {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("Socket: fcntl(F_GETFL)"));
+  const int updated = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, updated) < 0) {
+    return Status::Internal(Errno("Socket: fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
 Result<uint16_t> Socket::LocalPort() const {
   struct sockaddr_in addr;
   socklen_t len = sizeof(addr);
@@ -128,6 +167,12 @@ Status Socket::SendAll(const void* data, size_t size) const {
     const ssize_t n = ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (IsWouldBlock(errno)) {
+        // Non-blocking descriptor with a full send buffer: a short write
+        // must not truncate the stream — wait for room and continue.
+        PollFor(fd_, POLLOUT);
+        continue;
+      }
       return Status::Unavailable(Errno("Socket: send()"));
     }
     sent += static_cast<size_t>(n);
@@ -142,6 +187,10 @@ Status Socket::RecvAll(void* data, size_t size) const {
     const ssize_t n = ::recv(fd_, bytes + received, size - received, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (IsWouldBlock(errno)) {
+        PollFor(fd_, POLLIN);
+        continue;
+      }
       return Status::Unavailable(Errno("Socket: recv()"));
     }
     if (n == 0) {
@@ -152,6 +201,47 @@ Status Socket::RecvAll(void* data, size_t size) const {
     received += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Result<IoResult> Socket::SendSome(const void* data, size_t size) const {
+  for (;;) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      IoResult result;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (IsWouldBlock(errno)) {
+      IoResult result;
+      result.would_block = true;
+      return result;
+    }
+    return Status::Unavailable(Errno("Socket: send()"));
+  }
+}
+
+Result<IoResult> Socket::RecvSome(void* data, size_t size) const {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n > 0) {
+      IoResult result;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      IoResult result;
+      result.eof = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (IsWouldBlock(errno)) {
+      IoResult result;
+      result.would_block = true;
+      return result;
+    }
+    return Status::Unavailable(Errno("Socket: recv()"));
+  }
 }
 
 void Socket::Shutdown() const {

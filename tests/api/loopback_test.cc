@@ -17,61 +17,19 @@
 #include "api/client.h"
 #include "api/codec.h"
 #include "api/server.h"
+#include "api/service.h"
 #include "service/service_fixtures.h"
 #include "testing/corpus_fixtures.h"
+#include "testing/wire_fixtures.h"
 
 namespace veritas {
 namespace {
 
-bool BitEqual(double a, double b) {
-  return std::memcmp(&a, &b, sizeof(double)) == 0;
-}
-
-/// Every field except wall-clock `seconds`.
-void ExpectRecordBitIdentical(const IterationRecord& wire,
-                              const IterationRecord& local) {
-  EXPECT_EQ(wire.iteration, local.iteration);
-  EXPECT_EQ(wire.claims, local.claims);
-  EXPECT_EQ(wire.answers, local.answers);
-  EXPECT_TRUE(BitEqual(wire.entropy, local.entropy));
-  EXPECT_TRUE(BitEqual(wire.precision, local.precision));
-  EXPECT_TRUE(BitEqual(wire.effort, local.effort));
-  EXPECT_TRUE(BitEqual(wire.error_rate, local.error_rate));
-  EXPECT_TRUE(BitEqual(wire.z_score, local.z_score));
-  EXPECT_TRUE(BitEqual(wire.unreliable_ratio, local.unreliable_ratio));
-  EXPECT_EQ(wire.repairs, local.repairs);
-  EXPECT_EQ(wire.skips, local.skips);
-  EXPECT_EQ(wire.flagged, local.flagged);
-  EXPECT_EQ(wire.prediction_matched, local.prediction_matched);
-  EXPECT_TRUE(BitEqual(wire.urr, local.urr));
-  EXPECT_TRUE(BitEqual(wire.cng, local.cng));
-  EXPECT_EQ(wire.pre_streak, local.pre_streak);
-  EXPECT_TRUE(BitEqual(wire.pir, local.pir));
-}
-
-/// External-answer spec: the server plans, the driver answers — the
-/// deployment shape the wire protocol exists for.
-SessionSpec ExternalAnswerSpec(uint64_t seed, size_t budget) {
-  SessionSpec spec = testing::BatchSpec(seed, budget);
-  spec.user.kind = UserSpec::Kind::kNone;
-  // Exercise batching and the confirmation check over the wire too.
-  spec.validation.batch_size = 2;
-  spec.validation.confirmation_interval = 3;
-  return spec;
-}
-
-/// Ground-truth verdicts for a pending plan, identical for both drivers.
-StepAnswers AnswerFromTruth(const FactDatabase& db, const StepResult& pending) {
-  StepAnswers answers;
-  const size_t count = pending.batch ? pending.candidates.size() : 1;
-  for (size_t i = 0; i < count && i < pending.candidates.size(); ++i) {
-    const ClaimId claim = pending.candidates[i];
-    answers.claims.push_back(claim);
-    answers.answers.push_back(
-        db.has_ground_truth(claim) && db.ground_truth(claim) ? 1 : 0);
-  }
-  return answers;
-}
+using testing::AnswerFromTruth;
+using testing::BitEqual;
+using testing::ExpectRecordBitIdentical;
+using testing::ExternalAnswerSpec;
+using testing::RunLocalReference;
 
 class LoopbackTest : public ::testing::Test {
  protected:
@@ -108,25 +66,7 @@ TEST_F(LoopbackTest, ClientDrivenSessionBitIdenticalToInProcess) {
   // In-process reference: the rich-struct surface PR 4 shipped.
   std::vector<IterationRecord> local_trace;
   GroundingView local_view;
-  {
-    auto session = Session::Create(corpus.db, spec);
-    ASSERT_TRUE(session.ok()) << session.status();
-    for (;;) {
-      auto advanced = session.value()->Advance();
-      ASSERT_TRUE(advanced.ok()) << advanced.status();
-      if (advanced.value().done) break;
-      ASSERT_TRUE(advanced.value().awaiting_answers);
-      auto answered = session.value()->Answer(
-          AnswerFromTruth(corpus.db, advanced.value()));
-      ASSERT_TRUE(answered.ok()) << answered.status();
-      if (answered.value().iteration_completed) {
-        local_trace.push_back(answered.value().record);
-      }
-    }
-    auto view = session.value()->Ground();
-    ASSERT_TRUE(view.ok());
-    local_view = std::move(view).value();
-  }
+  RunLocalReference(corpus.db, spec, &local_trace, &local_view);
   ASSERT_FALSE(local_trace.empty());
 
   // Wire: the same session driven through JSON frames over the socket.

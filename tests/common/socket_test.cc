@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace veritas {
 namespace {
@@ -119,6 +122,132 @@ TEST(SocketTest, CleanDisconnectVersusTruncatedFrame) {
     EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
     boundary.join();
   }
+}
+
+TEST(SocketTest, TryAcceptReportsPendingAndEmpty) {
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  ASSERT_TRUE(listener.value().SetNonBlocking(true).ok());
+  auto port = listener.value().LocalPort();
+  ASSERT_TRUE(port.ok());
+
+  // Nothing pending: empty optional, NOT an error and NOT a block.
+  auto none = listener.value().TryAccept();
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_FALSE(none.value().has_value());
+
+  auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+  ASSERT_TRUE(client.ok());
+  // Loopback connects complete quickly, but the backlog entry may lag the
+  // connect() return by a scheduler tick — poll briefly.
+  std::optional<Socket> accepted;
+  for (int spin = 0; spin < 200 && !accepted.has_value(); ++spin) {
+    auto pending = listener.value().TryAccept();
+    ASSERT_TRUE(pending.ok()) << pending.status();
+    if (pending.value().has_value()) {
+      accepted = std::move(pending).value();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(accepted.has_value());
+
+  // The accepted socket works like any blocking-accepted one.
+  ASSERT_TRUE(WriteFrame(client.value(), "ping").ok());
+  auto frame = ReadFrame(*accepted);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame.value(), "ping");
+}
+
+TEST(SocketTest, RecvSomeReportsWouldBlockThenData) {
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = listener.value().LocalPort();
+  ASSERT_TRUE(port.ok());
+
+  auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+  ASSERT_TRUE(client.ok());
+  auto server_side = listener.value().Accept();
+  ASSERT_TRUE(server_side.ok());
+  ASSERT_TRUE(server_side.value().SetNonBlocking(true).ok());
+
+  char buffer[64];
+  // No bytes in flight: a non-blocking read must report would_block.
+  auto idle = server_side.value().RecvSome(buffer, sizeof(buffer));
+  ASSERT_TRUE(idle.ok()) << idle.status();
+  EXPECT_TRUE(idle.value().would_block);
+  EXPECT_EQ(idle.value().bytes, 0u);
+  EXPECT_FALSE(idle.value().eof);
+
+  ASSERT_TRUE(client.value().SendAll("abc", 3).ok());
+  size_t received = 0;
+  for (int spin = 0; spin < 200 && received < 3; ++spin) {
+    auto some = server_side.value().RecvSome(buffer + received,
+                                             sizeof(buffer) - received);
+    ASSERT_TRUE(some.ok()) << some.status();
+    if (some.value().would_block) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } else {
+      received += some.value().bytes;
+    }
+  }
+  EXPECT_EQ(std::string(buffer, received), "abc");
+
+  // Peer gone: eof, not an error and not would_block.
+  client.value().Shutdown();
+  IoResult end;
+  for (int spin = 0; spin < 200; ++spin) {
+    auto some = server_side.value().RecvSome(buffer, sizeof(buffer));
+    ASSERT_TRUE(some.ok()) << some.status();
+    end = some.value();
+    if (!end.would_block) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(end.eof);
+}
+
+TEST(SocketTest, SendSomeFillsTheBufferThenResumesAfterDrain) {
+  auto listener = Socket::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = listener.value().LocalPort();
+  ASSERT_TRUE(port.ok());
+
+  auto client = Socket::ConnectTcp("127.0.0.1", port.value());
+  ASSERT_TRUE(client.ok());
+  auto server_side = listener.value().Accept();
+  ASSERT_TRUE(server_side.ok());
+  ASSERT_TRUE(client.value().SetNonBlocking(true).ok());
+
+  // The peer reads nothing, so send+receive kernel buffers eventually fill
+  // and a non-blocking send MUST report would_block instead of stalling.
+  const std::string chunk(64 * 1024, 'x');
+  size_t sent = 0;
+  bool saw_would_block = false;
+  for (int spin = 0; spin < 10000 && !saw_would_block; ++spin) {
+    auto some = client.value().SendSome(chunk.data(), chunk.size());
+    ASSERT_TRUE(some.ok()) << some.status();
+    saw_would_block = some.value().would_block;
+    sent += some.value().bytes;
+  }
+  ASSERT_TRUE(saw_would_block) << "kernel buffers never filled";
+  ASSERT_GT(sent, 0u);
+
+  // Drain everything on the receiving side; the sender becomes writable
+  // again and can push at least one more byte.
+  std::vector<char> sink(sent);
+  ASSERT_TRUE(server_side.value().RecvAll(sink.data(), sink.size()).ok());
+  for (char byte : std::string(sink.begin(), sink.end()).substr(0, 16)) {
+    EXPECT_EQ(byte, 'x');
+  }
+  IoResult resumed;
+  for (int spin = 0; spin < 200; ++spin) {
+    auto some = client.value().SendSome("y", 1);
+    ASSERT_TRUE(some.ok()) << some.status();
+    resumed = some.value();
+    if (!resumed.would_block) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(resumed.bytes, 1u);
 }
 
 TEST(SocketTest, ConnectToClosedPortFails) {

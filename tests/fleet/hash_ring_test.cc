@@ -1,0 +1,143 @@
+// Property tests of the consistent-hash ring (fleet/hash_ring.h): the two
+// properties that make it fit for session placement — per-shard load stays
+// near fair (vnode spreading), and membership changes remap only the keys
+// that MUST move (~1/N on add, exactly the removed shard's keys on remove).
+// Plus determinism: the ring is a pure function of the shard set.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/hash_ring.h"
+
+namespace veritas {
+namespace {
+
+std::vector<std::string> Keys(size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back("session-" + std::to_string(i));
+  }
+  return keys;
+}
+
+std::map<std::string, std::string> MapAll(const HashRing& ring,
+                                          const std::vector<std::string>& keys) {
+  std::map<std::string, std::string> placement;
+  for (const std::string& key : keys) {
+    auto shard = ring.ShardFor(key);
+    EXPECT_TRUE(shard.ok()) << shard.status();
+    placement[key] = shard.value();
+  }
+  return placement;
+}
+
+TEST(HashRingTest, EmptyRingRejectsLookups) {
+  HashRing ring;
+  auto shard = ring.ShardFor("anything");
+  EXPECT_FALSE(shard.ok());
+  EXPECT_EQ(shard.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HashRingTest, SingleShardOwnsEverything) {
+  HashRing ring;
+  ring.AddShard("only");
+  for (const std::string& key : Keys(100)) {
+    EXPECT_EQ(ring.ShardFor(key).value(), "only");
+  }
+}
+
+TEST(HashRingTest, LoadBalancesAcrossShards) {
+  HashRing ring;
+  const std::vector<std::string> shards = {"w0", "w1", "w2", "w3"};
+  for (const std::string& shard : shards) ring.AddShard(shard);
+
+  const std::vector<std::string> keys = Keys(20000);
+  std::map<std::string, size_t> load;
+  for (const auto& [key, shard] : MapAll(ring, keys)) ++load[shard];
+
+  // Fair share is 0.25; 64 vnodes keeps every shard within a moderate band
+  // of it. A modulo-free ring with ONE point per shard routinely gives a
+  // shard 2x or near-0x fair share — this band is what vnodes buy.
+  for (const std::string& shard : shards) {
+    const double share = static_cast<double>(load[shard]) / keys.size();
+    EXPECT_GT(share, 0.15) << shard << " starved (share " << share << ")";
+    EXPECT_LT(share, 0.40) << shard << " overloaded (share " << share << ")";
+  }
+}
+
+TEST(HashRingTest, AddingAShardRemapsAboutOneFifth) {
+  HashRing ring;
+  for (const char* s : {"w0", "w1", "w2", "w3"}) ring.AddShard(s);
+  const std::vector<std::string> keys = Keys(20000);
+  const auto before = MapAll(ring, keys);
+
+  ring.AddShard("w4");
+  const auto after = MapAll(ring, keys);
+
+  size_t moved = 0;
+  for (const std::string& key : keys) {
+    if (before.at(key) != after.at(key)) {
+      ++moved;
+      // Consistency: a key that moved can only have moved TO the new shard.
+      EXPECT_EQ(after.at(key), "w4") << key << " moved between old shards";
+    }
+  }
+  const double fraction = static_cast<double>(moved) / keys.size();
+  // Ideal is 1/5 = 0.20 of the key space; vnode variance widens it a bit.
+  EXPECT_GT(fraction, 0.10) << "new shard received almost nothing";
+  EXPECT_LT(fraction, 0.30) << "adding one shard reshuffled too much";
+}
+
+TEST(HashRingTest, RemovingAShardOnlyMovesItsOwnKeys) {
+  HashRing ring;
+  for (const char* s : {"w0", "w1", "w2", "w3"}) ring.AddShard(s);
+  const std::vector<std::string> keys = Keys(20000);
+  const auto before = MapAll(ring, keys);
+
+  ring.RemoveShard("w2");
+  EXPECT_FALSE(ring.Contains("w2"));
+  const auto after = MapAll(ring, keys);
+
+  for (const std::string& key : keys) {
+    if (before.at(key) == "w2") {
+      EXPECT_NE(after.at(key), "w2");
+    } else {
+      // The failover invariant: sessions on surviving workers stay put.
+      EXPECT_EQ(after.at(key), before.at(key))
+          << key << " moved although its shard survived";
+    }
+  }
+}
+
+TEST(HashRingTest, InsertionOrderDoesNotMatter) {
+  HashRing forward;
+  HashRing backward;
+  const std::vector<std::string> shards = {"a", "b", "c", "d", "e"};
+  for (auto it = shards.begin(); it != shards.end(); ++it) {
+    forward.AddShard(*it);
+  }
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    backward.AddShard(*it);
+  }
+  for (const std::string& key : Keys(1000)) {
+    EXPECT_EQ(forward.ShardFor(key).value(), backward.ShardFor(key).value());
+  }
+}
+
+TEST(HashRingTest, AddAndRemoveAreIdempotent) {
+  HashRing ring;
+  ring.AddShard("w0");
+  ring.AddShard("w0");
+  EXPECT_EQ(ring.shard_count(), 1u);
+  ring.RemoveShard("missing");
+  EXPECT_EQ(ring.shard_count(), 1u);
+  ring.RemoveShard("w0");
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,101 @@
+// Shared fixtures for wire-transport parity tests (loopback, event-loop,
+// fleet failover): bit-exact IterationRecord comparison, the external-
+// answer session spec the wire protocol exists for, ground-truth answering,
+// and an in-process reference driver. The parity contract everywhere: a
+// session driven over any transport (or any fleet topology) must be
+// bit-identical to the same session driven in-process — wall-clock
+// `seconds` excepted, since elapsed time cannot be replayed.
+
+#ifndef VERITAS_TESTS_TESTING_WIRE_FIXTURES_H_
+#define VERITAS_TESTS_TESTING_WIRE_FIXTURES_H_
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "service/service_fixtures.h"
+#include "service/session.h"
+
+namespace veritas {
+namespace testing {
+
+inline bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Every field except wall-clock `seconds`.
+inline void ExpectRecordBitIdentical(const IterationRecord& wire,
+                                     const IterationRecord& local) {
+  EXPECT_EQ(wire.iteration, local.iteration);
+  EXPECT_EQ(wire.claims, local.claims);
+  EXPECT_EQ(wire.answers, local.answers);
+  EXPECT_TRUE(BitEqual(wire.entropy, local.entropy));
+  EXPECT_TRUE(BitEqual(wire.precision, local.precision));
+  EXPECT_TRUE(BitEqual(wire.effort, local.effort));
+  EXPECT_TRUE(BitEqual(wire.error_rate, local.error_rate));
+  EXPECT_TRUE(BitEqual(wire.z_score, local.z_score));
+  EXPECT_TRUE(BitEqual(wire.unreliable_ratio, local.unreliable_ratio));
+  EXPECT_EQ(wire.repairs, local.repairs);
+  EXPECT_EQ(wire.skips, local.skips);
+  EXPECT_EQ(wire.flagged, local.flagged);
+  EXPECT_EQ(wire.prediction_matched, local.prediction_matched);
+  EXPECT_TRUE(BitEqual(wire.urr, local.urr));
+  EXPECT_TRUE(BitEqual(wire.cng, local.cng));
+  EXPECT_EQ(wire.pre_streak, local.pre_streak);
+  EXPECT_TRUE(BitEqual(wire.pir, local.pir));
+}
+
+/// External-answer spec: the server plans, the driver answers — the
+/// deployment shape the wire protocol exists for.
+inline SessionSpec ExternalAnswerSpec(uint64_t seed, size_t budget) {
+  SessionSpec spec = BatchSpec(seed, budget);
+  spec.user.kind = UserSpec::Kind::kNone;
+  // Exercise batching and the confirmation check over the wire too.
+  spec.validation.batch_size = 2;
+  spec.validation.confirmation_interval = 3;
+  return spec;
+}
+
+/// Ground-truth verdicts for a pending plan, identical for both drivers.
+inline StepAnswers AnswerFromTruth(const FactDatabase& db,
+                                   const StepResult& pending) {
+  StepAnswers answers;
+  const size_t count = pending.batch ? pending.candidates.size() : 1;
+  for (size_t i = 0; i < count && i < pending.candidates.size(); ++i) {
+    const ClaimId claim = pending.candidates[i];
+    answers.claims.push_back(claim);
+    answers.answers.push_back(
+        db.has_ground_truth(claim) && db.ground_truth(claim) ? 1 : 0);
+  }
+  return answers;
+}
+
+/// Drives `spec` over `db` with an in-process Session, answering from
+/// ground truth: the reference every transport is compared against.
+inline void RunLocalReference(const FactDatabase& db, const SessionSpec& spec,
+                              std::vector<IterationRecord>* trace,
+                              GroundingView* view) {
+  auto session = Session::Create(db, spec);
+  ASSERT_TRUE(session.ok()) << session.status();
+  for (;;) {
+    auto advanced = session.value()->Advance();
+    ASSERT_TRUE(advanced.ok()) << advanced.status();
+    if (advanced.value().done) break;
+    ASSERT_TRUE(advanced.value().awaiting_answers);
+    auto answered =
+        session.value()->Answer(AnswerFromTruth(db, advanced.value()));
+    ASSERT_TRUE(answered.ok()) << answered.status();
+    if (answered.value().iteration_completed) {
+      trace->push_back(answered.value().record);
+    }
+  }
+  auto grounded = session.value()->Ground();
+  ASSERT_TRUE(grounded.ok()) << grounded.status();
+  *view = std::move(grounded).value();
+}
+
+}  // namespace testing
+}  // namespace veritas
+
+#endif  // VERITAS_TESTS_TESTING_WIRE_FIXTURES_H_
