@@ -8,12 +8,15 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/math.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/icrf.h"
+#include "crf/chromatic.h"
 #include "crf/entropy.h"
 #include "crf/gibbs.h"
 #include "crf/hypothetical.h"
@@ -123,6 +126,40 @@ void BM_GibbsSweepNestedAdjacency(benchmark::State& state) {
 }
 BENCHMARK(BM_GibbsSweepNestedAdjacency)->Arg(200)->Arg(800)->Arg(3200);
 
+// Chromatic counter-based sweeps (DESIGN.md §12) at 1-8 worker threads.
+// The draws are bit-identical at every thread count; the curve is the
+// scaling of the color-class barriers (flat on a single-core host, where
+// the win comes from the SoA spin layout instead).
+void BM_ChromaticSweep(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const ChromaticSchedule schedule = BuildChromaticSchedule(mrf);
+  BeliefState belief(mrf.num_claims());
+  GibbsOptions options;
+  options.burn_in = 0;
+  options.num_samples = 10;
+  const size_t threads = static_cast<size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  uint64_t draw_seed = 101;
+  for (auto _ : state) {
+    auto result = RunGibbsChromatic(mrf, belief, nullptr, nullptr, options,
+                                    draw_seed++, schedule, pool.get());
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result.value().marginals.data());
+  }
+  state.counters["colors"] =
+      benchmark::Counter(static_cast<double>(schedule.num_colors));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 10);
+}
+BENCHMARK(BM_ChromaticSweep)
+    ->Args({800, 1})
+    ->Args({800, 2})
+    ->Args({800, 4})
+    ->Args({800, 8})
+    ->Args({3200, 1})
+    ->Args({3200, 4});
+
 // Cached engine neighborhoods vs. a fresh BFS per lookup (what the five
 // call sites used to do on every candidate evaluation).
 void BM_NeighborhoodRecomputed(benchmark::State& state) {
@@ -212,6 +249,30 @@ void BM_EvaluateCandidateFresh(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateCandidateFresh)->Arg(200)->Arg(800);
 
+// Batched fan-out overlay (DESIGN.md §12): one shared base resample per
+// guidance step, then a FanoutWorker label-overlay chain per candidate.
+// Compare per-candidate cost against BM_EvaluateCandidatePooled, which runs
+// the full independent restricted Gibbs chain the overlay replaces.
+void BM_BatchedCandidateFanout(benchmark::State& state) {
+  const ClaimMrf mrf = MakeBenchMrf(static_cast<size_t>(state.range(0)));
+  const size_t n = mrf.num_claims();
+  HypotheticalEngine engine;
+  engine.Bind(&mrf, nullptr, GibbsOptions{8, 24, 1},
+              /*structure_changed=*/true);
+  BeliefState belief(n);
+  auto base = engine.PrepareFanoutBase(belief, FanoutOptions{});
+  if (!base.ok()) std::abort();
+  FanoutWorker worker(&engine, &base.value());
+  ClaimId c = 0;
+  for (auto _ : state) {
+    if (!worker.Evaluate(c, 0).ok()) std::abort();
+    benchmark::DoNotOptimize(worker.prob(c));
+    c = (c + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatchedCandidateFanout)->Arg(200)->Arg(800);
+
 void BM_TronMStep(benchmark::State& state) {
   const EmulatedCorpus corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
   CrfModel model = CrfModel::ForDatabase(corpus.db);
@@ -241,6 +302,31 @@ void BM_ApproxEntropy(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ApproxEntropy)->Arg(1000)->Arg(100000);
+
+// Incremental marginal-entropy refresh (crf/entropy.h): a guidance step
+// answers one claim and re-infers a small neighborhood, so only a handful
+// of probabilities move bitwise. Compare against BM_ApproxEntropy, the full
+// recompute the cache replaces.
+void BM_IncrementalEntropy(benchmark::State& state) {
+  std::vector<double> probs(static_cast<size_t>(state.range(0)));
+  Rng rng(31);
+  for (auto& p : probs) p = rng.Uniform();
+  MarginalEntropyCache cache;
+  cache.Refresh(probs, /*structure_epoch=*/1);
+  const size_t stride = probs.size() / 8 + 1;
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t k = 0; k < 8; ++k) {
+      probs[(i + k * stride) % probs.size()] = rng.Uniform();
+    }
+    cache.Refresh(probs, 1);
+    benchmark::DoNotOptimize(cache.Total());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IncrementalEntropy)->Arg(1000)->Arg(100000);
 
 void BM_PageRank(benchmark::State& state) {
   Rng rng(19);

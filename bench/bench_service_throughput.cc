@@ -222,18 +222,21 @@ RunResult RunWorkload(const EmulatedCorpus& corpus, const WorkloadSpec& work,
 }
 
 /// Wire-overhead mode: per-step cost of codec + loopback transport,
-/// measured against the identically-seeded in-process run.
+/// measured against the identically-seeded in-process run. The two arms
+/// are interleaved and the medians compared: a single back-to-back pair
+/// used to report negative overhead whenever inference cost drifted
+/// between the runs (allocator state, frequency scaling) by more than the
+/// sub-millisecond protocol tax being measured.
 int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
   const size_t budget = 8;
-
-  // 1. In-process reference: the same GuidanceApi dispatch through an
-  //    identically-configured one-worker RequestQueue, zero-latency oracle —
-  //    everything the loopback run does EXCEPT the JSON codec and the
-  //    socket, so the delta to (2) is pure codec + transport, not queue
-  //    handoff or dispatch.
-  double in_process_ms = 0.0;
+  const size_t reps = 5;
   StepResult sample_step;
-  {
+
+  // In-process arm: the same GuidanceApi dispatch through an identically-
+  // configured one-worker RequestQueue, zero-latency oracle — everything
+  // the loopback arm does EXCEPT the JSON codec and the socket, so the
+  // delta is pure codec + transport, not queue handoff or dispatch.
+  auto run_in_process = [&](double* ms_per_step) -> bool {
     SessionManager manager;
     RequestQueueOptions queue_options;
     queue_options.num_workers = 1;
@@ -242,7 +245,7 @@ int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
     auto id = manager.Create(corpus.db, ServiceBatchSpec(seed, budget, 0.0));
     if (!id.ok()) {
       std::cerr << "create failed: " << id.status() << "\n";
-      return 1;
+      return false;
     }
     Stopwatch watch;
     size_t steps = 0;
@@ -256,16 +259,16 @@ int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
     }
     if (steps == 0) {
       std::cerr << "no steps completed\n";
-      return 1;
+      return false;
     }
-    in_process_ms = watch.ElapsedSeconds() * 1e3 / static_cast<double>(steps);
-  }
+    *ms_per_step = watch.ElapsedSeconds() * 1e3 / static_cast<double>(steps);
+    return true;
+  };
 
-  // 2. The same session (same seed, same spec) through the loopback wire:
-  //    encode request -> TCP -> decode -> step -> encode response -> TCP ->
-  //    decode, on a dispatch + queue stack identical to (1).
-  double loopback_ms = 0.0;
-  {
+  // Loopback arm: the same session (same seed, same spec) through the wire:
+  // encode request -> TCP -> decode -> step -> encode response -> TCP ->
+  // decode, on a dispatch + queue stack identical to the in-process arm.
+  auto run_loopback = [&](double* ms_per_step) -> bool {
     SessionManager manager;
     RequestQueueOptions queue_options;
     queue_options.num_workers = 1;
@@ -274,18 +277,18 @@ int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
     auto server = ApiServer::Start(&api);
     if (!server.ok()) {
       std::cerr << "server start failed: " << server.status() << "\n";
-      return 1;
+      return false;
     }
     auto client = ApiClient::Connect("127.0.0.1", server.value()->port());
     if (!client.ok()) {
       std::cerr << "connect failed: " << client.status() << "\n";
-      return 1;
+      return false;
     }
     auto id = client.value()->CreateSession(corpus.db,
                                             ServiceBatchSpec(seed, budget, 0.0));
     if (!id.ok()) {
       std::cerr << "wire create failed: " << id.status() << "\n";
-      return 1;
+      return false;
     }
     Stopwatch watch;
     size_t steps = 0;
@@ -295,11 +298,32 @@ int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
     }
     if (steps == 0) {
       std::cerr << "no wire steps completed\n";
-      return 1;
+      return false;
     }
-    loopback_ms = watch.ElapsedSeconds() * 1e3 / static_cast<double>(steps);
+    *ms_per_step = watch.ElapsedSeconds() * 1e3 / static_cast<double>(steps);
     server.value()->Stop();
+    return true;
+  };
+
+  auto median = [](std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+
+  // Interleave the arms (ABAB...) so slow drift hits both equally; one
+  // warm-up pair untimed, then the medians carry the comparison.
+  std::vector<double> in_process_samples, loopback_samples;
+  double discard = 0.0;
+  if (!run_in_process(&discard) || !run_loopback(&discard)) return 1;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    double in_process_rep = 0.0, loopback_rep = 0.0;
+    if (!run_in_process(&in_process_rep)) return 1;
+    if (!run_loopback(&loopback_rep)) return 1;
+    in_process_samples.push_back(in_process_rep);
+    loopback_samples.push_back(loopback_rep);
   }
+  const double in_process_ms = median(in_process_samples);
+  const double loopback_ms = median(loopback_samples);
 
   // 3. Codec alone: encode + decode of a representative StepResponse.
   ApiResponse response;

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Guidance-latency perf report: runs bench_fig02_response_time (default
-# scale — the paper's per-iteration response time, Fig. 2), the
+# scale — the paper's per-iteration response time, Fig. 2), the hardware-
+# fast kernel speedup bench (bench_kernel_speedup at --scale=8: batched
+# fan-out + chromatic RB E-step vs the committed reference kernels,
+# DESIGN.md §12, gate >= 5x), the
 # multi-session service throughput bench (bench_service_throughput: open-
 # loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9), its --socket
 # wire-overhead mode (per-step codec+transport cost of the JSON-over-TCP
@@ -40,13 +43,44 @@ fig02_rows="$(awk '
   }
 ' "$fig02_txt")"
 
+# Hardware-fast kernel speedup (bench_kernel_speedup, DESIGN.md §12):
+# guidance-step latency of the batched fan-out + chromatic RB E-step vs the
+# committed per-candidate + sequential-Gibbs reference, on the fig02 corpora
+# at larger-than-default scale. Gate: >= 5x geometric-mean speedup.
+cmake --build "$build_dir" -j "$(nproc)" --target bench_kernel_speedup \
+  > /dev/null
+
+kernel_scale=8
+kernel_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt" "$kernel_txt"' EXIT
+"$build_dir"/bench/bench_kernel_speedup --scale=$kernel_scale | tee "$kernel_txt"
+
+kernel_field() {
+  awk -v key="$1" '$0 ~ "^# kernel " key " = " { print $NF }' "$kernel_txt"
+}
+kernel_speedup="$(kernel_field speedup)"
+kernel_min_speedup="$(kernel_field min_speedup)"
+kernel_shape="$(awk '/^# shape-check: / { print $3 }' "$kernel_txt")"
+kernel_rows="$(awk '
+  /^-+$/ { in_table = 1; next }
+  /^#/   { in_table = 0 }
+  in_table && NF >= 6 {
+    if (count++) printf ",\n";
+    printf "    {\"dataset\": \"%s\", \"reference_ms_per_step\": %s, \"fast_ms_per_step\": %s, \"speedup\": %s, \"reference_precision\": %s, \"fast_precision\": %s}", $1, $2, $3, $4, $5, $6
+  }
+' "$kernel_txt")"
+if [[ -z "$kernel_speedup" ]]; then
+  echo "error: bench_kernel_speedup emitted no '# kernel speedup' footer" >&2
+  exit 1
+fi
+
 # Service throughput (sessions/s + step-latency percentiles per worker
 # count, and the 4-worker/1-worker scaling ratio the acceptance gate pins).
 cmake --build "$build_dir" -j "$(nproc)" --target bench_service_throughput \
   > /dev/null
 
 service_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$service_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$service_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput | tee "$service_txt"
 
 service_rows="$(awk '
@@ -64,7 +98,7 @@ service_scaling="${service_scaling:-null}"
 # per-step codec+transport cost of the JSON-over-TCP loopback API relative
 # to driving the same session in-process.
 socket_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$service_txt" "$socket_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$service_txt" "$socket_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput --socket | tee "$socket_txt"
 
 socket_field() {
@@ -76,11 +110,21 @@ socket_overhead="$(socket_field overhead_ms_per_step)"
 socket_codec_us="$(socket_field codec_us_per_roundtrip)"
 socket_bytes="$(socket_field step_response_bytes)"
 
+# A negative overhead means the loopback arm outran the in-process arm —
+# only possible when drift between non-interleaved runs swamps the sub-ms
+# protocol tax. The bench interleaves ABAB and compares medians precisely
+# so this cannot happen; fail loudly if it regresses.
+if [[ -n "${socket_overhead:-}" ]] &&
+    awk -v o="$socket_overhead" 'BEGIN { exit !(o < 0) }'; then
+  echo "error: negative wire-overhead measurement ($socket_overhead ms/step)" >&2
+  exit 1
+fi
+
 # Fleet scaling (bench_service_throughput --fleet, DESIGN.md §11): the
 # event-loop front end vs thread-per-connection at 64 connections, and the
 # router's 1/2/4-backend scaling curve over think-time-bound sessions.
 fleet_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$service_txt" "$socket_txt" "$fleet_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$service_txt" "$socket_txt" "$fleet_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput --fleet | tee "$fleet_txt"
 
 fleet_field() {
@@ -104,7 +148,7 @@ if cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_kernels \
     > /dev/null 2>&1 && [[ -x "$build_dir"/bench/bench_micro_kernels ]]; then
   micro_file="$(mktemp)"
   "$build_dir"/bench/bench_micro_kernels \
-    --benchmark_filter='GibbsSweep|Neighborhood|EvaluateCandidate|Checkpoint' \
+    --benchmark_filter='GibbsSweep|Chromatic|Neighborhood|EvaluateCandidate|Fanout|IncrementalEntropy|Checkpoint' \
     --benchmark_format=json --benchmark_min_time=0.05 \
     > "$micro_file" 2>/dev/null || true
   if [[ -s "$micro_file" ]]; then
@@ -125,6 +169,17 @@ fi
   echo "    \"unit\": \"seconds/iteration\","
   echo "    \"rows\": ["
   printf '%s\n' "$fig02_rows"
+  echo "    ]"
+  echo "  },"
+  echo "  \"kernel_speedup\": $kernel_speedup,"
+  echo "  \"kernel_speedup_detail\": {"
+  echo "    \"workload\": \"fig02 corpora at --scale=$kernel_scale: per-candidate fan-out + sequential Gibbs vs batched fan-out + chromatic RB E-step (bench_kernel_speedup)\","
+  echo "    \"speedup_geomean\": $kernel_speedup,"
+  echo "    \"min_dataset_speedup\": ${kernel_min_speedup:-null},"
+  echo "    \"gate_min_speedup\": 5.0,"
+  echo "    \"shape_check\": \"${kernel_shape:-MISS}\","
+  echo "    \"rows\": ["
+  printf '%s\n' "$kernel_rows"
   echo "    ]"
   echo "  },"
   echo "  \"service_throughput\": {"

@@ -24,9 +24,11 @@
 #
 # TSAN=1 builds with ThreadSanitizer and runs the service/, api/ and crf/
 # suites — the ones exercising the SessionManager's per-session locking,
-# the RequestQueue worker pool, the ApiServer's accept/handler threads and
-# the HypotheticalEngine's striped caches — so the concurrent serving path
-# stays race-clean.
+# the RequestQueue worker pool, the ApiServer's accept/handler threads, the
+# HypotheticalEngine's striped caches and the parallel inference kernels
+# (chromatic color-class sweeps in crf_chromatic_test, sharded batched
+# fan-out in crf_fanout_test) — so the concurrent serving path stays
+# race-clean.
 
 set -euo pipefail
 

@@ -206,6 +206,21 @@ Status ParseVariant(const std::string& name, GuidanceVariant* out) {
   return Status::OK();
 }
 
+const char* FanoutName(FanoutKernel kernel) {
+  switch (kernel) {
+    case FanoutKernel::kPerCandidate: return "per_candidate";
+    case FanoutKernel::kBatched: return "batched";
+  }
+  return "batched";
+}
+
+Status ParseFanout(const std::string& name, FanoutKernel* out) {
+  if (name == "per_candidate") *out = FanoutKernel::kPerCandidate;
+  else if (name == "batched") *out = FanoutKernel::kBatched;
+  else return Status::InvalidArgument("unknown fanout kernel: " + name);
+  return Status::OK();
+}
+
 const char* StrategyWireName(StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kRandom: return "random";
@@ -244,6 +259,7 @@ void EncodeGibbs(const GibbsOptions& gibbs, JsonWriter* w) {
   w->Key("burn_in").UInt(gibbs.burn_in);
   w->Key("num_samples").UInt(gibbs.num_samples);
   w->Key("thin").UInt(gibbs.thin);
+  w->Key("num_threads").UInt(gibbs.num_threads);
   w->EndObject();
 }
 
@@ -252,6 +268,7 @@ Status DecodeGibbs(const JsonValue& value, GibbsOptions* gibbs) {
   VERITAS_RETURN_IF_ERROR(GetSize(value, "burn_in", &gibbs->burn_in));
   VERITAS_RETURN_IF_ERROR(GetSize(value, "num_samples", &gibbs->num_samples));
   VERITAS_RETURN_IF_ERROR(GetSize(value, "thin", &gibbs->thin));
+  VERITAS_RETURN_IF_ERROR(GetSize(value, "num_threads", &gibbs->num_threads));
   return Status::OK();
 }
 
@@ -351,6 +368,10 @@ void EncodeGuidance(const GuidanceConfig& guidance, JsonWriter* w) {
   w->Key("num_threads").UInt(guidance.num_threads);
   w->Key("max_enumeration_claims").UInt(guidance.max_enumeration_claims);
   w->Key("seed").UInt(guidance.seed);
+  w->Key("fanout").String(FanoutName(guidance.fanout));
+  w->Key("fanout_base_sweeps").UInt(guidance.fanout_base_sweeps);
+  w->Key("fanout_burn_in").UInt(guidance.fanout_burn_in);
+  w->Key("fanout_samples").UInt(guidance.fanout_samples);
   w->EndObject();
 }
 
@@ -368,6 +389,13 @@ Status DecodeGuidance(const JsonValue& value, GuidanceConfig* guidance) {
   VERITAS_RETURN_IF_ERROR(GetSize(value, "max_enumeration_claims",
                                   &guidance->max_enumeration_claims));
   VERITAS_RETURN_IF_ERROR(GetU64(value, "seed", &guidance->seed));
+  VERITAS_RETURN_IF_ERROR(GetEnum(value, "fanout", ParseFanout, &guidance->fanout));
+  VERITAS_RETURN_IF_ERROR(
+      GetSize(value, "fanout_base_sweeps", &guidance->fanout_base_sweeps));
+  VERITAS_RETURN_IF_ERROR(
+      GetSize(value, "fanout_burn_in", &guidance->fanout_burn_in));
+  VERITAS_RETURN_IF_ERROR(
+      GetSize(value, "fanout_samples", &guidance->fanout_samples));
   return Status::OK();
 }
 

@@ -176,4 +176,27 @@ Rng CandidateRng(uint64_t seed, uint64_t candidate, int branch) {
              (0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(branch + 1)));
 }
 
+namespace {
+
+/// SplitMix64 finalizer (the mixing function without the Weyl increment).
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t CounterU64(uint64_t seed, uint64_t stream, uint64_t counter) {
+  // Equivalent to seeding SplitMix64 with (seed, stream) and jumping the
+  // Weyl sequence ahead by `counter` steps: two full finalizer rounds keep
+  // nearby (stream, counter) pairs statistically independent.
+  const uint64_t base = Mix64(seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
+  return Mix64(base + 0x9e3779b97f4a7c15ULL * (counter + 1));
+}
+
+double CounterUniform(uint64_t seed, uint64_t stream, uint64_t counter) {
+  return static_cast<double>(CounterU64(seed, stream, counter) >> 11) * 0x1.0p-53;
+}
+
 }  // namespace veritas

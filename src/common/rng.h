@@ -99,6 +99,18 @@ class Rng {
 /// this function so results are reproducible from a single seed.
 Rng CandidateRng(uint64_t seed, uint64_t candidate, int branch);
 
+/// Stateless counter-based draws for the chromatic parallel Gibbs kernel
+/// (DESIGN.md §12). The value depends only on (seed, stream, counter) —
+/// SplitMix64 finalizers over the mixed words — so a sweep that assigns
+/// `stream` = sweep index and `counter` = claim id produces the exact same
+/// draw for a claim no matter which thread updates it, in what order, or
+/// how many workers the pool runs: bit-reproducible at any thread count.
+uint64_t CounterU64(uint64_t seed, uint64_t stream, uint64_t counter);
+
+/// CounterU64 mapped to a uniform double in [0, 1) with the same 53-bit
+/// construction as Rng::Uniform().
+double CounterUniform(uint64_t seed, uint64_t stream, uint64_t counter);
+
 }  // namespace veritas
 
 #endif  // VERITAS_COMMON_RNG_H_

@@ -61,6 +61,26 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+void ThreadPool::ParallelForRanges(size_t n, size_t min_grain,
+                                   const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t grain = std::max<size_t>(1, min_grain);
+  const size_t shards =
+      std::min(workers_.size(), std::max<size_t>(1, n / grain));
+  if (workers_.size() <= 1 || shards <= 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunk = (n + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

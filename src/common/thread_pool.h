@@ -35,6 +35,16 @@ class ThreadPool {
   /// Falls back to a serial loop when the pool has a single worker.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Range-sharded variant: splits [0, n) into at most num_threads()
+  /// contiguous ranges and runs fn(begin, end) per range, then waits.
+  /// One invocation per worker (instead of one task per index) lets each
+  /// shard own per-thread scratch across its whole range — the shape the
+  /// chromatic Gibbs color classes and the batched candidate fan-out need.
+  /// Ranges smaller than `min_grain` are merged; a single resulting range
+  /// runs inline on the caller. Serial fallback at <= 1 worker.
+  void ParallelForRanges(size_t n, size_t min_grain,
+                         const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

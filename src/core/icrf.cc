@@ -58,17 +58,42 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
   // and carried-over probabilities instead.
   const SpinConfig* warm = nullptr;
 
+  const bool chromatic = options_.gibbs.num_threads > 0;
   for (size_t em = 0; em < options_.max_em_iterations; ++em) {
     ++stats.em_iterations;
     // E-step: rebuild fields from the current weights and previous-iteration
     // probabilities (Eq. 6), then sample.
     mrf_ = BuildClaimMrf(*db_, model_, prev_probs, options_.crf, couplings_);
-    auto samples = RunGibbs(mrf_, *state, warm, nullptr, options_.gibbs, &rng_);
-    if (!samples.ok()) return samples.status();
-    last_samples_ = std::move(samples).value();
+    std::vector<double> new_probs;
+    if (chromatic) {
+      // Chromatic counter-based kernel (crf/chromatic.h): the schedule
+      // depends only on the edge structure, which is identical across the
+      // EM iterations of one call and across calls until SyncStructures().
+      if (structure_dirty_ || chromatic_schedule_.num_claims != mrf_.num_claims()) {
+        chromatic_schedule_ = BuildChromaticSchedule(mrf_);
+      }
+      ThreadPool* pool = nullptr;
+      if (options_.gibbs.num_threads > 1) {
+        if (gibbs_pool_ == nullptr ||
+            gibbs_pool_->num_threads() != options_.gibbs.num_threads) {
+          gibbs_pool_ = std::make_unique<ThreadPool>(options_.gibbs.num_threads);
+        }
+        pool = gibbs_pool_.get();
+      }
+      auto result = RunGibbsChromatic(mrf_, *state, warm, nullptr,
+                                      options_.gibbs, rng_.NextU64(),
+                                      chromatic_schedule_, pool);
+      if (!result.ok()) return result.status();
+      last_samples_ = std::move(result.value().samples);
+      new_probs = std::move(result.value().marginals);
+    } else {
+      auto samples = RunGibbs(mrf_, *state, warm, nullptr, options_.gibbs, &rng_);
+      if (!samples.ok()) return samples.status();
+      last_samples_ = std::move(samples).value();
+      new_probs = last_samples_.Marginals(*state);
+    }
     warm_config_ = last_samples_.samples().back();
     warm = &warm_config_;
-    std::vector<double> new_probs = last_samples_.Marginals(*state);
 
     // M-step: refit the log-linear weights on soft-labelled cliques (Eq. 8).
     if (options_.fit_weights) {

@@ -15,8 +15,13 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "crf/chromatic.h"
+#include "crf/entropy.h"
 #include "crf/gibbs.h"
 #include "crf/hypothetical.h"
 #include "crf/model.h"
@@ -112,6 +117,15 @@ class ICrf {
   /// confirmation and termination all evaluate through it.
   const HypotheticalEngine& hypothetical() const { return hypothetical_; }
 
+  /// Shared incremental marginal-entropy cache (DESIGN.md §12): consumers
+  /// (guidance h_before, the validation entropy trace) call Refresh() with
+  /// the current probabilities and the engine's structure epoch, then read.
+  /// Refresh re-scores only bit-changed entries, so repeated reads within a
+  /// step — the 64-candidate fan-out reads every scope entropy twice —
+  /// cost additions instead of logarithms. Refresh() must not race reads;
+  /// the pipeline refreshes between phases.
+  MarginalEntropyCache& entropy_cache() const { return entropy_cache_; }
+
   const FactDatabase& db() const { return *db_; }
   const ICrfOptions& options() const { return options_; }
   const CrfModel& model() const { return model_; }
@@ -147,6 +161,12 @@ class ICrf {
   HypotheticalEngine hypothetical_;
   SampleSet last_samples_;
   SpinConfig warm_config_;
+  mutable MarginalEntropyCache entropy_cache_;
+  /// Chromatic E-step kernel state (gibbs.num_threads >= 1): the cached
+  /// color schedule — structure-dependent, rebuilt after SyncStructures —
+  /// and the lazily created worker pool (> 1 thread only).
+  ChromaticSchedule chromatic_schedule_;
+  std::unique_ptr<ThreadPool> gibbs_pool_;
   bool ready_ = false;
   bool structures_built_ = false;
   bool structure_dirty_ = true;  ///< couplings changed since the last Bind

@@ -71,6 +71,26 @@ HypotheticalOptions HypotheticalFromGuidance(const GuidanceConfig& config,
   return options;
 }
 
+FanoutOptions FanoutFromGuidance(const GuidanceConfig& config, int rng_stream) {
+  FanoutOptions options;
+  options.neighborhood_radius = config.neighborhood_radius;
+  options.neighborhood_cap = config.neighborhood_cap;
+  options.base_sweeps = config.fanout_base_sweeps;
+  options.burn_in = config.fanout_burn_in;
+  options.num_samples = config.fanout_samples;
+  options.seed = config.seed;
+  options.rng_stream = rng_stream;
+  return options;
+}
+
+/// The batched kernel serves the sampling variants; kOrigin keeps the legacy
+/// path because its entropy scope is the exact component, with a sampling
+/// fallback that must match the committed per-candidate estimator.
+bool UseBatchedFanout(const GuidanceConfig& config) {
+  return config.fanout == FanoutKernel::kBatched &&
+         config.variant != GuidanceVariant::kOrigin;
+}
+
 /// Ranks candidates by decreasing score, ties broken by id for determinism.
 std::vector<ClaimId> RankByScore(const std::vector<ClaimId>& candidates,
                                  const std::vector<double>& scores, size_t k) {
@@ -99,6 +119,20 @@ void ForEachCandidate(const GuidanceConfig& config, ThreadPool* pool, size_t n,
   }
 }
 
+/// Sharded variant for the batched fan-out: `fn(begin, end)` gets a
+/// contiguous candidate range, so each shard amortizes one FanoutWorker
+/// (and its scratch) over many candidates. Scores stay shard-independent —
+/// every chain draw is a pure function of (seed, claim, branch).
+void ForEachCandidateSharded(const GuidanceConfig& config, ThreadPool* pool,
+                             size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (config.variant == GuidanceVariant::kParallelPartition && pool != nullptr) {
+    pool->ParallelForRanges(n, /*min_grain=*/1, fn);
+  } else {
+    if (n > 0) fn(0, n);
+  }
+}
+
 }  // namespace
 
 Result<std::vector<double>> ComputeClaimInfoGains(
@@ -109,6 +143,58 @@ Result<std::vector<double>> ComputeClaimInfoGains(
     return Status::FailedPrecondition("ComputeClaimInfoGains: inference not run");
   }
   const HypotheticalEngine& engine = icrf.hypothetical();
+
+  if (UseBatchedFanout(config)) {
+    // Batched kernel (DESIGN.md §12): one shared base resample for the whole
+    // pool, per-candidate label overlays over scope-compacted chains.
+    auto base = engine.PrepareFanoutBase(state,
+                                         FanoutFromGuidance(config, /*rng_stream=*/0));
+    if (!base.ok()) return base.status();
+    // h_before reads come from the incremental entropy cache; refresh
+    // serially here, shards below only read (SubsetSum is bit-identical to
+    // ApproxSubsetEntropy on the same probabilities).
+    MarginalEntropyCache& entropy_cache = icrf.entropy_cache();
+    entropy_cache.Refresh(state.probs(), engine.structure_epoch());
+    std::vector<double> gains(candidates.size(), 0.0);
+    std::vector<Status> failures(candidates.size());
+
+    ForEachCandidateSharded(config, pool, candidates.size(),
+                            [&](size_t begin, size_t end) {
+      FanoutWorker worker(&engine, &base.value());
+      for (size_t i = begin; i < end; ++i) {
+        const ClaimId c = candidates[i];
+        const std::vector<ClaimId>& neighborhood = engine.Neighborhood(
+            c, config.neighborhood_radius, config.neighborhood_cap);
+        const double h_before = entropy_cache.SubsetSum(neighborhood);
+        const double p = ClampProb(state.prob(c));
+
+        double h_after_expected = 0.0;
+        bool failed = false;
+        for (int branch = 0; branch < 2; ++branch) {
+          const double branch_weight = branch == 0 ? p : 1.0 - p;
+          if (branch_weight <= kProbEpsilon) continue;
+          const Status status = worker.Evaluate(c, branch);
+          if (!status.ok()) {
+            failures[i] = status;
+            failed = true;
+            break;
+          }
+          double h_branch = 0.0;
+          for (const ClaimId id : neighborhood) {
+            h_branch += BinaryEntropy(worker.prob(id));
+          }
+          h_after_expected += branch_weight * h_branch;
+        }
+        if (!failed) gains[i] = h_before - h_after_expected;
+      }
+    });
+
+    for (const Status& failure : failures) {
+      if (!failure.ok()) return failure;
+    }
+    return gains;
+  }
+
   const HypotheticalOptions hypothetical_options =
       HypotheticalFromGuidance(config, /*rng_stream=*/0);
   std::vector<double> gains(candidates.size(), 0.0);
@@ -190,9 +276,124 @@ Result<std::vector<double>> ComputeSourceInfoGains(
   }
   const FactDatabase& db = icrf.db();
   const HypotheticalEngine& engine = icrf.hypothetical();
+  const Grounding current = GroundingFromProbs(state.probs());
+
+  if (UseBatchedFanout(config)) {
+    // Batched kernel + incremental trust update: instead of re-walking every
+    // clique of every affected source per branch, walk only the cliques of
+    // the claims whose hypothetical grounding flipped (they all lie in the
+    // re-sampled scope) and correct the per-source agree count by the delta.
+    // Exact in the counts — agree/total are small integers in doubles — but
+    // the branch entropy total is accumulated in a different order than the
+    // legacy full walk, so parity holds to rounding, not bitwise.
+    auto base = engine.PrepareFanoutBase(state,
+                                         FanoutFromGuidance(config, /*rng_stream=*/2));
+    if (!base.ok()) return base.status();
+    std::vector<double> gains(candidates.size(), 0.0);
+    std::vector<Status> failures(candidates.size());
+
+    ForEachCandidateSharded(config, pool, candidates.size(),
+                            [&](size_t begin, size_t end) {
+      FanoutWorker worker(&engine, &base.value());
+      // Stamped source -> slot map, reset in O(1) per candidate.
+      std::vector<uint32_t> source_slot(db.num_sources(), 0);
+      std::vector<uint64_t> source_stamp(db.num_sources(), 0);
+      uint64_t stamp = 0;
+      std::vector<SourceId> affected;
+      std::vector<double> agree0, total, h0, delta;
+      std::vector<uint8_t> slot_touched;
+      std::vector<uint32_t> touched;
+
+      for (size_t i = begin; i < end; ++i) {
+        const ClaimId c = candidates[i];
+        const std::vector<ClaimId>& neighborhood = engine.Neighborhood(
+            c, config.neighborhood_radius, config.neighborhood_cap);
+        // Affected sources in first-appearance order (matches the legacy
+        // dedupe), slotted for O(1) lookup during the delta walk.
+        ++stamp;
+        affected.clear();
+        for (const ClaimId n : neighborhood) {
+          for (const SourceId s : icrf.claim_sources()[n]) {
+            if (source_stamp[s] != stamp) {
+              source_stamp[s] = stamp;
+              source_slot[s] = static_cast<uint32_t>(affected.size());
+              affected.push_back(s);
+            }
+          }
+        }
+        // Base (agree, total) per affected source under the current
+        // grounding; shared by h_before and both branch corrections.
+        agree0.assign(affected.size(), 0.0);
+        total.assign(affected.size(), 0.0);
+        h0.resize(affected.size());
+        delta.assign(affected.size(), 0.0);
+        slot_touched.assign(affected.size(), 0);
+        double h_before = 0.0;
+        for (size_t slot = 0; slot < affected.size(); ++slot) {
+          for (const size_t ci : icrf.source_cliques()[affected[slot]]) {
+            const Clique& clique = db.clique(ci);
+            const bool credible = current[clique.claim] != 0;
+            const bool supports = clique.stance == Stance::kSupport;
+            agree0[slot] += (supports == credible) ? 1.0 : 0.0;
+            total[slot] += 1.0;
+          }
+          h0[slot] = BinaryEntropy(
+              total[slot] > 0.0 ? agree0[slot] / total[slot] : 0.5);
+          h_before += h0[slot];
+        }
+
+        const double p = ClampProb(state.prob(c));
+        double h_after_expected = 0.0;
+        bool failed = false;
+        for (int branch = 0; branch < 2; ++branch) {
+          const double branch_weight = branch == 0 ? p : 1.0 - p;
+          if (branch_weight <= kProbEpsilon) continue;
+          const Status status = worker.Evaluate(c, branch);
+          if (!status.ok()) {
+            failures[i] = status;
+            failed = true;
+            break;
+          }
+          touched.clear();
+          for (const ClaimId id : worker.scope()) {
+            const bool new_credible = worker.prob(id) >= 0.5;
+            const bool old_credible = current[id] != 0;
+            if (new_credible == old_credible) continue;
+            for (const size_t ci : db.ClaimCliques(id)) {
+              const Clique& clique = db.clique(ci);
+              if (source_stamp[clique.source] != stamp) continue;
+              const uint32_t slot = source_slot[clique.source];
+              const bool supports = clique.stance == Stance::kSupport;
+              delta[slot] += ((supports == new_credible) ? 1.0 : 0.0) -
+                             ((supports == old_credible) ? 1.0 : 0.0);
+              if (!slot_touched[slot]) {
+                slot_touched[slot] = 1;
+                touched.push_back(slot);
+              }
+            }
+          }
+          double h_branch = h_before;
+          for (const uint32_t slot : touched) {
+            // A touched source has at least one clique, so total > 0.
+            h_branch += BinaryEntropy((agree0[slot] + delta[slot]) / total[slot]) -
+                        h0[slot];
+            delta[slot] = 0.0;
+            slot_touched[slot] = 0;
+          }
+          h_after_expected += branch_weight * h_branch;
+        }
+        if (!failed) gains[i] = h_before - h_after_expected;
+      }
+    });
+
+    for (const Status& failure : failures) {
+      if (!failure.ok()) return failure;
+    }
+    return gains;
+  }
+
   const HypotheticalOptions hypothetical_options =
       HypotheticalFromGuidance(config, /*rng_stream=*/2);
-  const Grounding current = GroundingFromProbs(state.probs());
   std::vector<double> gains(candidates.size(), 0.0);
   std::vector<Status> failures(candidates.size());
 

@@ -36,6 +36,17 @@ enum class StrategyKind { kRandom, kUncertainty, kInfoGain, kSource, kHybrid };
 
 const char* StrategyName(StrategyKind kind);
 
+/// Fan-out kernel of the sampling-based IG scores (DESIGN.md §12):
+///   kPerCandidate  the legacy path — every (candidate, branch) runs an
+///                  independent restricted Gibbs chain with its own burn-in
+///                  (HypotheticalEngine::EvaluateCandidate).
+///   kBatched       the pool shares one base resample; candidates run as
+///                  label overlays over a scope-compacted CSR with frozen
+///                  out-of-scope terms and Rao-Blackwellized marginals
+///                  (FanoutWorker). Same scoring semantics, far fewer and
+///                  cheaper sweeps per candidate.
+enum class FanoutKernel { kPerCandidate, kBatched };
+
 /// Knobs shared by the guidance strategies.
 struct GuidanceConfig {
   GuidanceVariant variant = GuidanceVariant::kParallelPartition;
@@ -52,6 +63,15 @@ struct GuidanceConfig {
   /// Maximum unlabeled claims for the enumeration fallback of exact entropy.
   size_t max_enumeration_claims = 16;
   uint64_t seed = 17;
+  /// Hypothetical fan-out kernel for the sampling variants (kOrigin's exact
+  /// path is unaffected). kBatched is the default; kPerCandidate remains as
+  /// the committed reference the speedup bench measures against.
+  FanoutKernel fanout = FanoutKernel::kBatched;
+  /// Batched-kernel schedule (ignored under kPerCandidate, which reads
+  /// ICrfOptions.hypothetical_gibbs like it always has).
+  size_t fanout_base_sweeps = 4;
+  size_t fanout_burn_in = 2;
+  size_t fanout_samples = 8;
 };
 
 /// A claim-selection policy (step 1 of the validation process, §2.3).

@@ -227,7 +227,11 @@ Result<IterationRecord> ValidationProcess::CompleteStep(const StepAnswers& answe
     (void)all_exact;
     record.entropy = exact_total;
   } else {
-    record.entropy = ApproxDatabaseEntropy(state_.probs());
+    // Incremental path: re-scores only the claims Infer() actually moved;
+    // Total() is bit-identical to ApproxDatabaseEntropy(state_.probs()).
+    MarginalEntropyCache& cache = icrf_.entropy_cache();
+    cache.Refresh(state_.probs(), icrf_.hypothetical().structure_epoch());
+    record.entropy = cache.Total();
   }
 
   // Confirmation check (§5.2).

@@ -1,6 +1,7 @@
 #ifndef VERITAS_CRF_ENTROPY_H_
 #define VERITAS_CRF_ENTROPY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +40,47 @@ std::vector<double> MarginalEntropies(const std::vector<double>& probs);
 Result<double> ExactComponentEntropy(const ClaimMrf& mrf, const BeliefState& state,
                                      const std::vector<ClaimId>& component,
                                      size_t max_enumeration_claims = 20);
+
+/// Incremental per-claim marginal-entropy cache (DESIGN.md §12). After an
+/// answer is ingested only the claims whose probability actually changed —
+/// detected bitwise against the last refresh — are re-scored; a size change
+/// or a new engine structure epoch forces a full recompute. Because the
+/// cached value of claim c is exactly BinaryEntropy(probs[c]) and the sums
+/// run in the same order as the one-shot functions, Total() is
+/// bit-identical to ApproxDatabaseEntropy(probs) and SubsetSum() to
+/// ApproxSubsetEntropy(probs, subset).
+///
+/// Thread-safety: Refresh() must not race reads; the pipeline refreshes
+/// between phases (after inference, before the guidance fan-out) and the
+/// fan-out threads then only read.
+class MarginalEntropyCache {
+ public:
+  /// Synchronizes the cache with `probs` under `structure_epoch` (pass the
+  /// hypothetical engine's epoch, or 0 when unused).
+  void Refresh(const std::vector<double>& probs, uint64_t structure_epoch);
+
+  /// Sum of the cached entropies in index order.
+  double Total() const;
+
+  /// Sum over `subset` in the caller's order; out-of-range ids contribute 0.
+  double SubsetSum(const std::vector<ClaimId>& subset) const;
+
+  size_t size() const { return values_.size(); }
+  double value(size_t i) const { return values_[i]; }
+
+  /// Observability: entries re-scored by the last Refresh(), and the count
+  /// of full recomputes (size/epoch invalidations) over the cache lifetime.
+  size_t last_refreshed_entries() const { return last_refreshed_; }
+  uint64_t full_refreshes() const { return full_refreshes_; }
+
+ private:
+  std::vector<double> probs_;   ///< probabilities at the last refresh
+  std::vector<double> values_;  ///< BinaryEntropy of each probability
+  uint64_t epoch_ = 0;
+  bool filled_ = false;
+  size_t last_refreshed_ = 0;
+  uint64_t full_refreshes_ = 0;
+};
 
 }  // namespace veritas
 

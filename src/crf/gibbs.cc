@@ -1,7 +1,6 @@
 #include "crf/gibbs.h"
 
 #include <algorithm>
-#include <string>
 #include <unordered_map>
 
 #include "common/math.h"
@@ -30,18 +29,61 @@ std::vector<double> SampleSet::Marginals(const BeliefState& state) const {
   return marginals;
 }
 
+namespace {
+
+/// Splitmix-fold of a spin vector: 64 spins are packed per 64-bit word and
+/// each word folded through the SplitMix64 finalizer. No intermediate key
+/// object — hashing a sample costs zero allocations.
+uint64_t SpinConfigHash(const SpinConfig& sample) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ sample.size();
+  const size_t n = sample.size();
+  size_t i = 0;
+  while (i < n) {
+    uint64_t word = 0;
+    const size_t chunk = std::min<size_t>(64, n - i);
+    for (size_t b = 0; b < chunk; ++b) {
+      word |= static_cast<uint64_t>(sample[i + b] != 0 ? 1 : 0) << b;
+    }
+    i += chunk;
+    uint64_t z = h ^ (word + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+}  // namespace
+
 SpinConfig SampleSet::ModeConfiguration() const {
   if (samples_.empty()) return {};
-  std::unordered_map<std::string, size_t> frequency;
+  // Frequency map keyed by the 64-bit fold of each sample. A collision of
+  // distinct configurations is detected by comparing against the first
+  // sample that claimed the key, and resolved by re-mixing the key — an
+  // open chain over the hash space, still allocation-free per sample.
+  struct Entry {
+    size_t first;  ///< index of the first sample hashed to this key
+    size_t count;
+  };
+  std::unordered_map<uint64_t, Entry> frequency;
   frequency.reserve(samples_.size() * 2);
   const SpinConfig* best = nullptr;
   size_t best_count = 0;
-  for (const SpinConfig& sample : samples_) {
-    const std::string key(sample.begin(), sample.end());
-    const size_t count = ++frequency[key];
-    if (count > best_count) {
-      best_count = count;
-      best = &sample;
+  for (size_t s = 0; s < samples_.size(); ++s) {
+    const SpinConfig& sample = samples_[s];
+    uint64_t key = SpinConfigHash(sample);
+    for (;;) {
+      auto [it, inserted] = frequency.try_emplace(key, Entry{s, 0});
+      if (inserted || samples_[it->second.first] == sample) {
+        const size_t count = ++it->second.count;
+        if (count > best_count) {
+          best_count = count;
+          best = &sample;
+        }
+        break;
+      }
+      // True 64-bit collision between distinct configurations: re-mix.
+      key = key * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL;
     }
   }
   if (best_count > 1) return *best;

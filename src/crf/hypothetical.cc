@@ -274,6 +274,202 @@ Result<HypotheticalEngine::Evaluation> HypotheticalEngine::EvaluateHoldout(
   return Evaluation(this, scratch, &scratch->probs);
 }
 
+Result<FanoutBase> HypotheticalEngine::PrepareFanoutBase(
+    const BeliefState& state, const FanoutOptions& options) const {
+  if (!bound()) {
+    return Status::FailedPrecondition(
+        "HypotheticalEngine::PrepareFanoutBase: engine not bound; run "
+        "inference first");
+  }
+  const size_t n = mrf_->num_claims();
+  if (state.num_claims() != n) {
+    return Status::InvalidArgument(
+        "HypotheticalEngine::PrepareFanoutBase: state size mismatch");
+  }
+  if (!mrf_->adjacency_built()) {
+    return Status::FailedPrecondition(
+        "HypotheticalEngine::PrepareFanoutBase: adjacency not built");
+  }
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument(
+        "HypotheticalEngine::PrepareFanoutBase: num_samples must be positive");
+  }
+
+  FanoutBase base;
+  base.state_ = &state;
+  base.options_ = options;
+  base.spin_pm_.resize(n);
+  std::vector<ClaimId> order;
+  order.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    const ClaimId id = static_cast<ClaimId>(c);
+    if (state.IsLabeled(id)) {
+      base.spin_pm_[c] = state.label(id) == ClaimLabel::kCredible ? 1.0 : -1.0;
+    } else {
+      base.spin_pm_[c] = state.prob(id) >= 0.5 ? 1.0 : -1.0;
+      order.push_back(id);
+    }
+  }
+
+  // Counter-based equilibration in claim-id order: the salt decorrelates
+  // the base stream from the per-candidate overlay streams that share
+  // options.seed.
+  constexpr uint64_t kBaseSalt = 0x5851f42d4c957f2dULL;
+  const uint64_t base_seed = options.seed ^ kBaseSalt;
+  const size_t* offsets = mrf_->offsets.data();
+  const ClaimId* neighbors = mrf_->neighbors.data();
+  const double* couplings = mrf_->couplings.data();
+  const double* fields = mrf_->field.data();
+  double* pm = base.spin_pm_.data();
+  for (size_t s = 0; s < options.base_sweeps; ++s) {
+    for (const ClaimId c : order) {
+      double neighbor_term = 0.0;
+      const size_t row_end = offsets[c + 1];
+      for (size_t k = offsets[c]; k < row_end; ++k) {
+        neighbor_term += couplings[k] * pm[neighbors[k]];
+      }
+      const double p = Sigmoid(2.0 * (fields[c] + neighbor_term));
+      pm[c] = CounterUniform(base_seed, s, c) < p ? 1.0 : -1.0;
+    }
+  }
+  return base;
+}
+
+FanoutWorker::FanoutWorker(const HypotheticalEngine* engine,
+                           const FanoutBase* base)
+    : engine_(engine), base_(base) {}
+
+void FanoutWorker::BuildPartition(ClaimId claim) {
+  const ClaimMrf& mrf = *engine_->mrf_;
+  const BeliefState& state = base_->state();
+  const std::vector<double>& base_pm = base_->spin_pm();
+  const size_t n = mrf.num_claims();
+  const size_t scope_size = scope_->size();
+
+  if (stamp_of_.size() != n) {
+    stamp_of_.assign(n, 0);
+    local_of_.assign(n, 0);
+    stamp_ = 0;
+  }
+  ++stamp_;
+  for (size_t i = 0; i < scope_size; ++i) {
+    const ClaimId id = (*scope_)[i];
+    local_of_[id] = static_cast<uint32_t>(i);
+    stamp_of_[id] = stamp_;
+  }
+
+  local_spin_.resize(scope_size);
+  final_prob_.resize(scope_size);
+  sweep_local_.clear();
+  candidate_local_ = local_of_[claim];
+  for (size_t i = 0; i < scope_size; ++i) {
+    const ClaimId id = (*scope_)[i];
+    if (id != claim && !state.IsLabeled(id)) {
+      sweep_local_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Scope-local CSR with frozen terms: one full CSR walk per candidate,
+  // partitioning each swept claim's couplings into dynamic ones (the
+  // candidate or another swept claim — kept as local edges) and frozen
+  // ones (out of scope, or labeled in scope — folded into a scalar against
+  // the base/label spins, which the overlay chain never flips). The frozen
+  // scalars are shared by both branches of the candidate.
+  const size_t sweep_size = sweep_local_.size();
+  sweep_field_.resize(sweep_size);
+  sweep_frozen_.resize(sweep_size);
+  sweep_rb_.resize(sweep_size);
+  in_offsets_.resize(sweep_size + 1);
+  in_offsets_[0] = 0;
+  in_local_.clear();
+  in_coupling_.clear();
+  const size_t* offsets = mrf.offsets.data();
+  const ClaimId* neighbors = mrf.neighbors.data();
+  const double* couplings = mrf.couplings.data();
+  for (size_t s = 0; s < sweep_size; ++s) {
+    const ClaimId id = (*scope_)[sweep_local_[s]];
+    sweep_field_[s] = mrf.field[id];
+    double frozen = 0.0;
+    const size_t row_end = offsets[id + 1];
+    for (size_t k = offsets[id]; k < row_end; ++k) {
+      const ClaimId nbr = neighbors[k];
+      const bool dynamic = stamp_of_[nbr] == stamp_ &&
+                           (nbr == claim || !state.IsLabeled(nbr));
+      if (dynamic) {
+        in_local_.push_back(local_of_[nbr]);
+        in_coupling_.push_back(couplings[k]);
+      } else {
+        frozen += couplings[k] * base_pm[nbr];
+      }
+    }
+    sweep_frozen_[s] = frozen;
+    in_offsets_[s + 1] = in_local_.size();
+  }
+  partition_claim_ = claim;
+}
+
+Status FanoutWorker::Evaluate(ClaimId claim, int branch) {
+  if (engine_ == nullptr || !engine_->bound()) {
+    return Status::FailedPrecondition(
+        "FanoutWorker::Evaluate: engine not bound; run inference first");
+  }
+  const size_t n = engine_->mrf_->num_claims();
+  if (claim >= n) {
+    return Status::InvalidArgument("FanoutWorker::Evaluate: claim out of range");
+  }
+  const FanoutOptions& options = base_->options();
+  scope_ = &engine_->Neighborhood(claim, options.neighborhood_radius,
+                                  options.neighborhood_cap);
+  if (scope_->empty()) {
+    return Status::FailedPrecondition(
+        "FanoutWorker::Evaluate: empty neighborhood");
+  }
+  if (claim != partition_claim_) BuildPartition(claim);
+
+  // Label overlay: spins start at the shared base configuration with the
+  // candidate clamped to the hypothesized branch.
+  const std::vector<double>& base_pm = base_->spin_pm();
+  const size_t scope_size = scope_->size();
+  for (size_t i = 0; i < scope_size; ++i) {
+    local_spin_[i] = base_pm[(*scope_)[i]];
+  }
+  local_spin_[candidate_local_] = branch == 0 ? 1.0 : -1.0;
+
+  const size_t sweep_size = sweep_local_.size();
+  std::fill(sweep_rb_.begin(), sweep_rb_.end(), 0.0);
+  Rng rng = CandidateRng(options.seed, claim, branch + options.rng_stream);
+  const size_t total_sweeps = options.burn_in + options.num_samples;
+  for (size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+    const bool sampling = sweep >= options.burn_in;
+    for (size_t s = 0; s < sweep_size; ++s) {
+      double t = sweep_frozen_[s];
+      const size_t row_end = in_offsets_[s + 1];
+      for (size_t k = in_offsets_[s]; k < row_end; ++k) {
+        t += in_coupling_[k] * local_spin_[in_local_[k]];
+      }
+      const double p = Sigmoid(2.0 * (sweep_field_[s] + t));
+      if (sampling) sweep_rb_[s] += p;
+      local_spin_[sweep_local_[s]] = rng.Bernoulli(p) ? 1.0 : -1.0;
+    }
+  }
+
+  // Assemble the scope view served by prob(): hypothetical label and real
+  // labels at 0/1, swept claims at their Rao-Blackwell marginal.
+  const BeliefState& state = base_->state();
+  for (size_t i = 0; i < scope_size; ++i) {
+    const ClaimId id = (*scope_)[i];
+    final_prob_[i] = state.IsLabeled(id)
+                         ? (state.label(id) == ClaimLabel::kCredible ? 1.0 : 0.0)
+                         : state.prob(id);
+  }
+  final_prob_[candidate_local_] = branch == 0 ? 1.0 : 0.0;
+  const double denom = static_cast<double>(options.num_samples);
+  for (size_t s = 0; s < sweep_size; ++s) {
+    final_prob_[sweep_local_[s]] = sweep_rb_[s] / denom;
+  }
+  return Status::OK();
+}
+
 Result<HypotheticalEngine::Evaluation> HypotheticalEngine::ResampleScoped(
     const BeliefState& state, const std::vector<ClaimId>* scope, Rng* rng,
     bool neutral_prior) const {

@@ -34,6 +34,9 @@
 
 namespace veritas {
 
+class FanoutBase;
+class FanoutWorker;
+
 /// Knobs of one hypothetical evaluation, shared by every call site.
 struct HypotheticalOptions {
   /// Coupling-graph neighborhood of the re-inference (partition
@@ -176,8 +179,20 @@ class HypotheticalEngine {
   size_t scratch_buffers_created() const;
   size_t cached_neighborhoods() const;
 
+  /// Builds the shared base resample of one batched guidance step
+  /// (DESIGN.md §12): spins are initialized from `state` (labels clamped,
+  /// unlabeled thresholded at 0.5) and equilibrated with
+  /// `options.base_sweeps` counter-based sweeps over ALL unlabeled claims.
+  /// Every candidate overlay of the step starts from this one
+  /// configuration instead of burning in its own chain — the fan-out
+  /// reuse rule. Deterministic function of (bound model, state,
+  /// options.seed); never touches a thread.
+  Result<FanoutBase> PrepareFanoutBase(const BeliefState& state,
+                                       const struct FanoutOptions& options) const;
+
  private:
   struct LabelOverride;
+  friend class FanoutWorker;
 
   Scratch* AcquireScratch() const;
   void ReleaseScratch(Scratch* scratch) const;
@@ -204,6 +219,115 @@ class HypotheticalEngine {
   mutable std::mutex scratch_mu_;
   mutable std::vector<std::unique_ptr<Scratch>> free_scratch_;
   mutable size_t scratch_created_ = 0;
+};
+
+/// Knobs of the batched candidate fan-out (DESIGN.md §12): the whole
+/// guidance pool is evaluated against one shared base resample, each
+/// candidate as a label overlay with a scope-compacted chain and
+/// Rao-Blackwellized marginals. The short per-overlay schedule (burn_in +
+/// num_samples sweeps) is what the shared base buys: equilibration happens
+/// once per step instead of once per candidate evaluation.
+struct FanoutOptions {
+  size_t neighborhood_radius = 2;
+  size_t neighborhood_cap = 128;
+  size_t base_sweeps = 4;   ///< shared equilibration sweeps (all unlabeled)
+  size_t burn_in = 2;       ///< per-overlay sweeps before sampling
+  size_t num_samples = 8;   ///< Rao-Blackwell sampling sweeps per overlay
+  uint64_t seed = 17;
+  /// Stream decorrelation offset, same contract as HypotheticalOptions
+  /// (IG_C uses 0, IG_S uses 2).
+  int rng_stream = 0;
+};
+
+/// Immutable snapshot shared by every overlay evaluation of one guidance
+/// step: the base ±1 spin configuration, the belief state it was built
+/// from, and the knobs. Built by HypotheticalEngine::PrepareFanoutBase();
+/// safe to read from any number of FanoutWorkers concurrently. Must not
+/// outlive the engine binding or the state.
+class FanoutBase {
+ public:
+  const std::vector<double>& spin_pm() const { return spin_pm_; }
+  const BeliefState& state() const { return *state_; }
+  const FanoutOptions& options() const { return options_; }
+
+ private:
+  friend class HypotheticalEngine;
+  friend class FanoutWorker;
+  std::vector<double> spin_pm_;  ///< ±1 spins, labels clamped
+  const BeliefState* state_ = nullptr;
+  FanoutOptions options_;
+};
+
+/// Per-thread overlay evaluator of the batched fan-out. Owns all scratch
+/// (local spin/field/frozen arrays, the scope-compacted CSR, the stamped
+/// index map), so steady-state evaluation allocates nothing; create one
+/// worker per fan-out shard. NOT thread-safe — concurrency comes from many
+/// workers over one FanoutBase.
+///
+/// An Evaluate(claim, branch) run hypothetically labels `claim`
+/// (branch 0 = credible, 1 = not) and resamples the claim's cached
+/// coupling neighborhood, with three kernel-level reuses over the legacy
+/// per-candidate path:
+///   * spins start at the shared base configuration (no per-candidate
+///     burn-in from scratch);
+///   * the neighbor walk runs over a scope-local CSR: couplings into
+///     claims outside the scope — or labeled inside it — are folded into
+///     one frozen scalar per swept claim, computed once per candidate and
+///     shared by both branches;
+///   * marginals are Rao-Blackwellized (mean conditional probability).
+/// The chain draws come from CandidateRng(seed, claim, branch +
+/// rng_stream), so results depend only on (base, claim, branch) — never on
+/// evaluation order, worker identity, or thread count.
+class FanoutWorker {
+ public:
+  FanoutWorker(const HypotheticalEngine* engine, const FanoutBase* base);
+
+  /// Runs the overlay chain for (claim, branch). On OK, scope() and prob()
+  /// describe the hypothetical posterior until the next Evaluate().
+  Status Evaluate(ClaimId claim, int branch);
+
+  /// Scope of the last evaluation: the engine's cached neighborhood.
+  const std::vector<ClaimId>& scope() const { return *scope_; }
+
+  /// Post-evaluation probability of `id`, matching the legacy
+  /// Evaluation::probs() contract: the hypothetical label at 0/1, real
+  /// labels at 0/1, the swept scope at its fresh marginals, everything
+  /// else at its carried-over `state` estimate.
+  double prob(ClaimId id) const {
+    if (id < stamp_of_.size() && stamp_of_[id] == stamp_) {
+      return final_prob_[local_of_[id]];
+    }
+    return base_->state().prob(id);
+  }
+
+ private:
+  void BuildPartition(ClaimId claim);
+
+  const HypotheticalEngine* engine_;
+  const FanoutBase* base_;
+  const std::vector<ClaimId>* scope_ = nullptr;
+
+  static constexpr ClaimId kNoClaim = ~static_cast<ClaimId>(0);
+  ClaimId partition_claim_ = kNoClaim;  ///< claim the partition was built for
+  uint32_t candidate_local_ = 0;
+
+  // Stamped global->local index map (O(1) reset per candidate).
+  std::vector<uint32_t> local_of_;
+  std::vector<uint64_t> stamp_of_;
+  uint64_t stamp_ = 0;
+
+  // Scope-local SoA state. Indexed by local scope position...
+  std::vector<double> local_spin_;   ///< ±1, dynamic claims only mutate
+  std::vector<double> final_prob_;
+  // ...or by sweep slot (scope minus labeled minus the candidate):
+  std::vector<uint32_t> sweep_local_;  ///< sweep slot -> local position
+  std::vector<double> sweep_field_;
+  std::vector<double> sweep_frozen_;   ///< folded out-of-scope/labeled terms
+  std::vector<double> sweep_rb_;       ///< Rao-Blackwell accumulators
+  // Scope-local CSR over the dynamic claims.
+  std::vector<size_t> in_offsets_;
+  std::vector<uint32_t> in_local_;
+  std::vector<double> in_coupling_;
 };
 
 }  // namespace veritas

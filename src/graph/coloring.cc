@@ -1,0 +1,46 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace veritas {
+
+GraphColoring GreedyColorCsr(const std::vector<size_t>& offsets,
+                             const std::vector<uint32_t>& neighbors) {
+  GraphColoring coloring;
+  if (offsets.size() < 2) return coloring;
+  const size_t n = offsets.size() - 1;
+  constexpr uint32_t kUncolored = ~0u;
+  coloring.color_of.assign(n, kUncolored);
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const size_t da = offsets[a + 1] - offsets[a];
+    const size_t db = offsets[b + 1] - offsets[b];
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  // forbidden[c] == v marks color c as used by a neighbor of the node
+  // currently being colored; stamping with the node id avoids clearing the
+  // array between nodes.
+  std::vector<uint32_t> forbidden;
+  for (const uint32_t v : order) {
+    const size_t degree = offsets[v + 1] - offsets[v];
+    if (forbidden.size() < degree + 1) forbidden.resize(degree + 1, kUncolored);
+    for (size_t k = offsets[v]; k < offsets[v + 1]; ++k) {
+      const uint32_t c = coloring.color_of[neighbors[k]];
+      // A node of degree d always fits in a color <= d; higher neighbor
+      // colors cannot influence the minimum free color.
+      if (c != kUncolored && c <= degree) forbidden[c] = v;
+    }
+    uint32_t color = 0;
+    while (forbidden[color] == v) ++color;
+    coloring.color_of[v] = color;
+    coloring.num_colors = std::max<size_t>(coloring.num_colors, color + 1);
+  }
+  return coloring;
+}
+
+}  // namespace veritas

@@ -1,0 +1,31 @@
+#ifndef VERITAS_GRAPH_COLORING_H_
+#define VERITAS_GRAPH_COLORING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace veritas {
+
+/// A proper vertex coloring: adjacent nodes never share a color, so every
+/// color class is an independent set. Produced by GreedyColorCsr for the
+/// chromatic parallel Gibbs schedule (DESIGN.md §12), where each class can
+/// be resampled concurrently without changing the sampled distribution.
+struct GraphColoring {
+  size_t num_colors = 0;
+  std::vector<uint32_t> color_of;  ///< per node, in [0, num_colors)
+};
+
+/// Greedy coloring over an undirected graph in CSR form (`offsets` has
+/// num_nodes + 1 entries; `neighbors[offsets[v]..offsets[v+1])` lists v's
+/// neighbors). Nodes are colored in decreasing-degree order (ties broken by
+/// id), each taking the smallest color absent from its already-colored
+/// neighbors — the Welsh-Powell heuristic, which keeps the class count near
+/// the graph's degeneracy instead of its max degree. Fully deterministic:
+/// the same CSR always yields the same coloring.
+GraphColoring GreedyColorCsr(const std::vector<size_t>& offsets,
+                             const std::vector<uint32_t>& neighbors);
+
+}  // namespace veritas
+
+#endif  // VERITAS_GRAPH_COLORING_H_

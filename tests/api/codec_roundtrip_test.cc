@@ -80,6 +80,11 @@ SessionSpec RandomSpec(Rng* rng) {
   v.guidance.num_threads = AnySize(rng);
   v.guidance.max_enumeration_claims = AnySize(rng);
   v.guidance.seed = rng->NextU64();
+  v.guidance.fanout = rng->Bernoulli(0.5) ? FanoutKernel::kBatched
+                                          : FanoutKernel::kPerCandidate;
+  v.guidance.fanout_base_sweeps = AnySize(rng);
+  v.guidance.fanout_burn_in = AnySize(rng);
+  v.guidance.fanout_samples = AnySize(rng);
   v.termination.enable_urr = rng->Bernoulli(0.5);
   v.termination.urr_threshold = AnyFinite(rng);
   v.termination.urr_patience = AnySize(rng);
@@ -103,8 +108,10 @@ SessionSpec RandomSpec(Rng* rng) {
   icrf.crf.unlabeled_confidence_scale = AnyFinite(rng);
   icrf.crf.unlabeled_mass_cap_ratio = AnyFinite(rng);
   icrf.crf.max_pairs_per_source = AnySize(rng);
-  icrf.gibbs = GibbsOptions{AnySize(rng), AnySize(rng), AnySize(rng)};
-  icrf.hypothetical_gibbs = GibbsOptions{AnySize(rng), AnySize(rng), AnySize(rng)};
+  icrf.gibbs =
+      GibbsOptions{AnySize(rng), AnySize(rng), AnySize(rng), AnySize(rng)};
+  icrf.hypothetical_gibbs =
+      GibbsOptions{AnySize(rng), AnySize(rng), AnySize(rng), AnySize(rng)};
   icrf.tron.max_iterations = AnySize(rng);
   icrf.tron.gradient_tolerance = AnyFinite(rng);
   icrf.tron.initial_radius = AnyFinite(rng);

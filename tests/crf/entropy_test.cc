@@ -137,5 +137,58 @@ TEST(ComponentEntropyTest, RespectsLabelsInsideComponent) {
   EXPECT_NEAR(entropy.value(), BinaryEntropy(Sigmoid(1.6)), 1e-9);
 }
 
+TEST(MarginalEntropyCacheTest, TotalAndSubsetMatchOneShotFunctionsBitwise) {
+  std::vector<double> probs{0.5, 0.9, 0.12345, 1.0, 0.0, 0.731};
+  MarginalEntropyCache cache;
+  cache.Refresh(probs, /*structure_epoch=*/1);
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+  const std::vector<ClaimId> subset{5, 1, 2, 99};  // caller order, OOR id
+  EXPECT_EQ(cache.SubsetSum(subset), ApproxSubsetEntropy(probs, subset));
+
+  // Simulated answer/ground sequence: only some entries move each step.
+  probs[2] = 1.0;           // answered
+  probs[5] = 0.5001;        // re-inferred
+  cache.Refresh(probs, 1);
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+  EXPECT_EQ(cache.SubsetSum(subset), ApproxSubsetEntropy(probs, subset));
+  probs[0] = 0.0;           // grounded
+  cache.Refresh(probs, 1);
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+  EXPECT_EQ(cache.SubsetSum(subset), ApproxSubsetEntropy(probs, subset));
+}
+
+TEST(MarginalEntropyCacheTest, RefreshRescoresOnlyBitChangedEntries) {
+  std::vector<double> probs{0.1, 0.2, 0.3, 0.4};
+  MarginalEntropyCache cache;
+  cache.Refresh(probs, 7);
+  EXPECT_EQ(cache.last_refreshed_entries(), 4u);  // first fill is full
+  EXPECT_EQ(cache.full_refreshes(), 1u);
+
+  cache.Refresh(probs, 7);  // nothing moved
+  EXPECT_EQ(cache.last_refreshed_entries(), 0u);
+  probs[1] = 0.25;
+  probs[3] = 0.45;
+  cache.Refresh(probs, 7);
+  EXPECT_EQ(cache.last_refreshed_entries(), 2u);
+  EXPECT_EQ(cache.full_refreshes(), 1u);
+  EXPECT_EQ(cache.value(1), BinaryEntropy(0.25));
+}
+
+TEST(MarginalEntropyCacheTest, EpochAndSizeChangesForceFullRecompute) {
+  std::vector<double> probs{0.3, 0.6};
+  MarginalEntropyCache cache;
+  cache.Refresh(probs, 1);
+  // Structure change: same probabilities, new epoch -> full pass.
+  cache.Refresh(probs, 2);
+  EXPECT_EQ(cache.last_refreshed_entries(), 2u);
+  EXPECT_EQ(cache.full_refreshes(), 2u);
+  // Streaming growth: size change -> full pass.
+  probs.push_back(0.8);
+  cache.Refresh(probs, 2);
+  EXPECT_EQ(cache.last_refreshed_entries(), 3u);
+  EXPECT_EQ(cache.full_refreshes(), 3u);
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+}
+
 }  // namespace
 }  // namespace veritas

@@ -1,6 +1,7 @@
 #include "crf/gibbs.h"
 
 #include <cmath>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -150,6 +151,65 @@ TEST(SampleSetTest, EmptySampleSet) {
   SampleSet samples;
   EXPECT_TRUE(samples.empty());
   EXPECT_TRUE(samples.ModeConfiguration().empty());
+}
+
+/// Naive reference for the mode: map keyed by the full configuration.
+SpinConfig NaiveMode(const std::vector<SpinConfig>& samples) {
+  if (samples.empty()) return {};
+  std::map<SpinConfig, size_t> frequency;
+  const SpinConfig* best = nullptr;
+  size_t best_count = 0;
+  for (const SpinConfig& sample : samples) {
+    const size_t count = ++frequency[sample];
+    if (count > best_count) {
+      best_count = count;
+      best = &sample;
+    }
+  }
+  if (best_count > 1) return *best;
+  const size_t n = samples.front().size();
+  SpinConfig majority(n, 0);
+  for (size_t c = 0; c < n; ++c) {
+    size_t ones = 0;
+    for (const SpinConfig& sample : samples) ones += sample[c];
+    majority[c] = ones * 2 >= samples.size() ? 1 : 0;
+  }
+  return majority;
+}
+
+TEST(SampleSetTest, ModeMatchesNaiveReferenceOnRandomSampleSets) {
+  // The hashed frequency map must select the same configuration as the
+  // allocation-heavy string/map reference it replaced, including on sets
+  // with many crafted duplicates and on wide (> 64 claim) configurations.
+  Rng rng(40);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.UniformInt(100);
+    const size_t count = 1 + rng.UniformInt(30);
+    std::vector<SpinConfig> samples;
+    for (size_t s = 0; s < count; ++s) {
+      if (!samples.empty() && rng.Bernoulli(0.5)) {
+        // Duplicate an earlier sample to create real modes.
+        samples.push_back(samples[rng.UniformInt(samples.size())]);
+        continue;
+      }
+      SpinConfig sample(n, 0);
+      for (size_t c = 0; c < n; ++c) sample[c] = rng.Bernoulli(0.5) ? 1 : 0;
+      samples.push_back(std::move(sample));
+    }
+    EXPECT_EQ(SampleSet(samples).ModeConfiguration(), NaiveMode(samples))
+        << "round " << round;
+  }
+}
+
+TEST(SampleSetTest, ModeSeparatesConfigurationsBeyondWordBoundaries) {
+  // Two configurations identical in the first 64 claims, differing at claim
+  // 64 and 70: the packed hash must not conflate them.
+  SpinConfig a(72, 1);
+  SpinConfig b = a;
+  b[64] = 0;
+  b[70] = 0;
+  SampleSet samples({a, b, b});
+  EXPECT_EQ(samples.ModeConfiguration(), b);
 }
 
 TEST(SampleSetTest, MarginalsAreSampleAverages) {
