@@ -3,7 +3,9 @@
 # scale — the paper's per-iteration response time, Fig. 2), the hardware-
 # fast kernel speedup bench (bench_kernel_speedup at --scale=8: batched
 # fan-out + chromatic RB E-step vs the committed reference kernels,
-# DESIGN.md §12, gate >= 5x), the
+# DESIGN.md §12, gate >= 5x), the CRF backend dispatch bench
+# (bench_backend_speedup: exact-where-tractable dispatcher vs the all-Gibbs
+# E-step, DESIGN.md §13, gates >= 1.0x at no-worse precision), the
 # multi-session service throughput bench (bench_service_throughput: open-
 # loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9), its --socket
 # wire-overhead mode (per-step codec+transport cost of the JSON-over-TCP
@@ -74,13 +76,53 @@ if [[ -z "$kernel_speedup" ]]; then
   exit 1
 fi
 
+# CRF backend speedup (bench_backend_speedup, DESIGN.md §13): validation-
+# step latency of the exact-where-tractable dispatcher vs the all-Gibbs
+# E-step on the fig02 corpora, identical guidance configuration in both
+# arms. Gates: >= 1.0x geometric-mean speedup AND dispatcher precision no
+# worse than the sampler on every dataset (precision fairness).
+cmake --build "$build_dir" -j "$(nproc)" --target bench_backend_speedup \
+  > /dev/null
+
+backend_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt"' EXIT
+"$build_dir"/bench/bench_backend_speedup | tee "$backend_txt"
+
+backend_field() {
+  awk -v key="$1" '$0 ~ "^# backend " key " = " { print $NF }' "$backend_txt"
+}
+backend_speedup="$(backend_field speedup)"
+backend_min_speedup="$(backend_field min_speedup)"
+backend_precision_holds="$(backend_field precision_holds)"
+backend_shape="$(awk '/^# shape-check: / { print $3 }' "$backend_txt")"
+backend_rows="$(awk '
+  /^-+$/ { in_table = 1; next }
+  /^#/   { in_table = 0 }
+  in_table && NF >= 6 {
+    if (count++) printf ",\n";
+    printf "    {\"dataset\": \"%s\", \"gibbs_ms_per_step\": %s, \"dispatch_ms_per_step\": %s, \"speedup\": %s, \"gibbs_precision\": %s, \"dispatch_precision\": %s}", $1, $2, $3, $4, $5, $6
+  }
+' "$backend_txt")"
+if [[ -z "$backend_speedup" ]]; then
+  echo "error: bench_backend_speedup emitted no '# backend speedup' footer" >&2
+  exit 1
+fi
+if ! awk -v s="$backend_speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+  echo "error: backend_speedup $backend_speedup below the 1.0 gate" >&2
+  exit 1
+fi
+if [[ "$backend_precision_holds" != "1" ]]; then
+  echo "error: dispatcher precision fell below the all-Gibbs reference" >&2
+  exit 1
+fi
+
 # Service throughput (sessions/s + step-latency percentiles per worker
 # count, and the 4-worker/1-worker scaling ratio the acceptance gate pins).
 cmake --build "$build_dir" -j "$(nproc)" --target bench_service_throughput \
   > /dev/null
 
 service_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$kernel_txt" "$service_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt" "$service_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput | tee "$service_txt"
 
 service_rows="$(awk '
@@ -98,7 +140,7 @@ service_scaling="${service_scaling:-null}"
 # per-step codec+transport cost of the JSON-over-TCP loopback API relative
 # to driving the same session in-process.
 socket_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$kernel_txt" "$service_txt" "$socket_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt" "$service_txt" "$socket_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput --socket | tee "$socket_txt"
 
 socket_field() {
@@ -124,7 +166,7 @@ fi
 # event-loop front end vs thread-per-connection at 64 connections, and the
 # router's 1/2/4-backend scaling curve over think-time-bound sessions.
 fleet_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$kernel_txt" "$service_txt" "$socket_txt" "$fleet_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt" "$service_txt" "$socket_txt" "$fleet_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput --fleet | tee "$fleet_txt"
 
 fleet_field() {
@@ -180,6 +222,18 @@ fi
   echo "    \"shape_check\": \"${kernel_shape:-MISS}\","
   echo "    \"rows\": ["
   printf '%s\n' "$kernel_rows"
+  echo "    ]"
+  echo "  },"
+  echo "  \"backend_speedup\": $backend_speedup,"
+  echo "  \"backend_speedup_detail\": {"
+  echo "    \"workload\": \"fig02 corpora, identical guidance config: all-Gibbs E-step vs exact-where-tractable dispatch (bench_backend_speedup)\","
+  echo "    \"speedup_geomean\": $backend_speedup,"
+  echo "    \"min_dataset_speedup\": ${backend_min_speedup:-null},"
+  echo "    \"gate_min_speedup\": 1.0,"
+  echo "    \"precision_fairness_holds\": $([ "$backend_precision_holds" = "1" ] && echo true || echo false),"
+  echo "    \"shape_check\": \"${backend_shape:-MISS}\","
+  echo "    \"rows\": ["
+  printf '%s\n' "$backend_rows"
   echo "    ]"
   echo "  },"
   echo "  \"service_throughput\": {"

@@ -19,7 +19,8 @@
 #
 # ASAN=1 builds with Address + UndefinedBehavior sanitizers and runs the
 # crf/ and core/ suites — the ones exercising the HypotheticalEngine
-# scratch-buffer pooling and the CSR adjacency — so buffer reuse stays
+# scratch-buffer pooling, the CSR adjacency and the pluggable solver
+# backends' sub-MRF extraction (crf_solver_test) — so buffer reuse stays
 # leak- and UB-clean.
 #
 # TSAN=1 builds with ThreadSanitizer and runs the service/, api/ and crf/
@@ -27,8 +28,8 @@
 # the RequestQueue worker pool, the ApiServer's accept/handler threads, the
 # HypotheticalEngine's striped caches and the parallel inference kernels
 # (chromatic color-class sweeps in crf_chromatic_test, sharded batched
-# fan-out in crf_fanout_test) — so the concurrent serving path stays
-# race-clean.
+# fan-out in crf_fanout_test, the DispatchSolver's per-component fan-out in
+# crf_solver_test) — so the concurrent serving path stays race-clean.
 
 set -euo pipefail
 

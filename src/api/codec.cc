@@ -232,6 +232,17 @@ const char* StrategyWireName(StrategyKind kind) {
   return "hybrid";
 }
 
+Status ParseBackend(const std::string& name, CrfBackend* out) {
+  if (name == "auto") *out = CrfBackend::kAuto;
+  else if (name == "gibbs") *out = CrfBackend::kGibbs;
+  else if (name == "chromatic") *out = CrfBackend::kChromatic;
+  else if (name == "exact") *out = CrfBackend::kExact;
+  else if (name == "mean_field") *out = CrfBackend::kMeanField;
+  else if (name == "dispatch") *out = CrfBackend::kDispatch;
+  else return Status::InvalidArgument("unknown crf backend: " + name);
+  return Status::OK();
+}
+
 Status ParseStrategy(const std::string& name, StrategyKind* out) {
   if (name == "random") *out = StrategyKind::kRandom;
   else if (name == "uncertainty") *out = StrategyKind::kUncertainty;
@@ -307,6 +318,9 @@ void EncodeIcrfOptions(const ICrfOptions& options, JsonWriter* w) {
   w->Key("max_em_iterations").UInt(options.max_em_iterations);
   w->Key("em_tolerance").Double(options.em_tolerance);
   w->Key("fit_weights").Bool(options.fit_weights);
+  w->Key("backend").String(CrfBackendName(options.backend));
+  w->Key("hypothetical_backend")
+      .String(CrfBackendName(options.hypothetical_backend));
   w->EndObject();
 }
 
@@ -356,6 +370,12 @@ Status DecodeIcrfOptions(const JsonValue& value, ICrfOptions* options) {
       GetSize(value, "max_em_iterations", &options->max_em_iterations));
   VERITAS_RETURN_IF_ERROR(GetDouble(value, "em_tolerance", &options->em_tolerance));
   VERITAS_RETURN_IF_ERROR(GetBool(value, "fit_weights", &options->fit_weights));
+  // Missing key = default (kAuto): payloads from pre-backend peers decode to
+  // the exact legacy behavior. Unknown names are rejected, never coerced.
+  VERITAS_RETURN_IF_ERROR(
+      GetEnum(value, "backend", ParseBackend, &options->backend));
+  VERITAS_RETURN_IF_ERROR(GetEnum(value, "hypothetical_backend", ParseBackend,
+                                  &options->hypothetical_backend));
   return Status::OK();
 }
 

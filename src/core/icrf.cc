@@ -58,39 +58,61 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
   // and carried-over probabilities instead.
   const SpinConfig* warm = nullptr;
 
-  const bool chromatic = options_.gibbs.num_threads > 0;
+  // Resolve the backend (crf/solver.h): kAuto keeps the legacy selection —
+  // num_threads picks between the sequential and chromatic samplers — so
+  // default-configured runs stay byte-identical to pre-backend builds.
+  CrfBackend backend = options_.backend;
+  if (backend == CrfBackend::kAuto) {
+    backend = options_.gibbs.num_threads > 0 ? CrfBackend::kChromatic
+                                             : CrfBackend::kGibbs;
+  }
+  const CrfSolver& solver = SolverFor(backend);
   for (size_t em = 0; em < options_.max_em_iterations; ++em) {
     ++stats.em_iterations;
     // E-step: rebuild fields from the current weights and previous-iteration
-    // probabilities (Eq. 6), then sample.
+    // probabilities (Eq. 6), then solve for marginals.
     mrf_ = BuildClaimMrf(*db_, model_, prev_probs, options_.crf, couplings_);
-    std::vector<double> new_probs;
-    if (chromatic) {
-      // Chromatic counter-based kernel (crf/chromatic.h): the schedule
-      // depends only on the edge structure, which is identical across the
-      // EM iterations of one call and across calls until SyncStructures().
+    SolverOptions sopts;
+    sopts.gibbs = options_.gibbs;
+    sopts.warm_start = warm;
+    sopts.rng = &rng_;
+    if (backend == CrfBackend::kChromatic) {
+      // The color schedule depends only on the edge structure, which is
+      // identical across the EM iterations of one call and across calls
+      // until SyncStructures().
       if (structure_dirty_ || chromatic_schedule_.num_claims != mrf_.num_claims()) {
         chromatic_schedule_ = BuildChromaticSchedule(mrf_);
       }
-      ThreadPool* pool = nullptr;
+      sopts.schedule = &chromatic_schedule_;
+    }
+    if (backend == CrfBackend::kChromatic || backend == CrfBackend::kDispatch) {
       if (options_.gibbs.num_threads > 1) {
         if (gibbs_pool_ == nullptr ||
             gibbs_pool_->num_threads() != options_.gibbs.num_threads) {
           gibbs_pool_ = std::make_unique<ThreadPool>(options_.gibbs.num_threads);
         }
-        pool = gibbs_pool_.get();
+        sopts.pool = gibbs_pool_.get();
       }
-      auto result = RunGibbsChromatic(mrf_, *state, warm, nullptr,
-                                      options_.gibbs, rng_.NextU64(),
-                                      chromatic_schedule_, pool);
-      if (!result.ok()) return result.status();
-      last_samples_ = std::move(result.value().samples);
-      new_probs = std::move(result.value().marginals);
-    } else {
-      auto samples = RunGibbs(mrf_, *state, warm, nullptr, options_.gibbs, &rng_);
-      if (!samples.ok()) return samples.status();
-      last_samples_ = std::move(samples).value();
-      new_probs = last_samples_.Marginals(*state);
+      // Counter-based draw seed: one stream head per E-step, exactly the
+      // draw the chromatic path always made. The sequential backend must
+      // NOT consume it (its chain reads rng_ directly) or seed-pinned
+      // default runs would diverge.
+      sopts.draw_seed = rng_.NextU64();
+    }
+    auto result = solver.Marginals(mrf_, *state, sopts);
+    if (!result.ok()) return result.status();
+    last_samples_ = std::move(result.value().samples);
+    std::vector<double> new_probs = std::move(result.value().marginals);
+    if (last_samples_.empty()) {
+      // Deterministic backends return no configurations; synthesize the
+      // marginal-threshold configuration so the warm start and the sample
+      // consumers (GroundingFromSamples, Eq. 10) keep working. Thresholding
+      // the exact marginal IS the per-claim mode.
+      SpinConfig config(new_probs.size(), 0);
+      for (size_t c = 0; c < new_probs.size(); ++c) {
+        config[c] = new_probs[c] >= 0.5 ? 1 : 0;
+      }
+      last_samples_ = SampleSet({std::move(config)});
     }
     warm_config_ = last_samples_.samples().back();
     warm = &warm_config_;
@@ -133,7 +155,7 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
   // neighborhoods survive unless the coupling structure itself changed
   // (SyncStructures ran) — fields change every iteration, edges do not.
   hypothetical_.Bind(&mrf_, &evidence_field_, options_.hypothetical_gibbs,
-                     structure_dirty_);
+                     structure_dirty_, options_.hypothetical_backend);
   structure_dirty_ = false;
   ready_ = true;
   return stats;
@@ -154,7 +176,7 @@ Status ICrf::RestoreEngine(const BeliefState& state) {
     evidence_field_[c] = 0.5 * evidence[c];
   }
   hypothetical_.Bind(&mrf_, &evidence_field_, options_.hypothetical_gibbs,
-                     /*structure_changed=*/true);
+                     /*structure_changed=*/true, options_.hypothetical_backend);
   structure_dirty_ = false;
   ready_ = true;
   return Status::OK();

@@ -27,6 +27,7 @@
 #include "crf/model.h"
 #include "crf/mrf.h"
 #include "crf/partition.h"
+#include "crf/solver.h"
 #include "data/model.h"
 #include "optim/tron.h"
 
@@ -41,6 +42,15 @@ struct ICrfOptions {
   size_t max_em_iterations = 4;
   double em_tolerance = 5e-3;   ///< max per-claim probability change to stop
   bool fit_weights = true;      ///< disable to freeze the log-linear weights
+  /// E-step marginal backend (crf/solver.h, DESIGN.md §13). kAuto keeps the
+  /// legacy rule — gibbs.num_threads == 0 runs the sequential sampler,
+  /// >= 1 the chromatic kernel — byte-identical to pre-backend builds.
+  CrfBackend backend = CrfBackend::kAuto;
+  /// Backend of the hypothetical/guidance kernel (HypotheticalEngine).
+  /// kAuto keeps the restricted Gibbs kernel; kMeanField scores candidates
+  /// with the deterministic damped mean-field fixed point instead. Guidance
+  /// may run a cheaper backend than the committed E-step.
+  CrfBackend hypothetical_backend = CrfBackend::kAuto;
 };
 
 /// Statistics of one Infer() call.

@@ -1,5 +1,7 @@
 #include "crf/partition.h"
 
+#include <algorithm>
+
 #include "graph/graph.h"
 
 namespace veritas {
@@ -34,19 +36,31 @@ std::vector<ClaimId> CouplingNeighborhood(const ClaimMrf& mrf, ClaimId center,
     return result;
   }
   std::vector<uint8_t> seen(mrf.num_claims(), 0);
-  std::vector<std::pair<ClaimId, size_t>> queue{{center, 0}};
+  std::vector<ClaimId> ring{center};
+  std::vector<ClaimId> next_ring;
   seen[center] = 1;
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const auto [node, depth] = queue[head];
-    result.push_back(node);
-    if (result.size() >= max_claims) break;
-    if (depth >= radius) continue;
-    for (size_t k = mrf.offsets[node]; k < mrf.offsets[node + 1]; ++k) {
-      const ClaimId nbr = mrf.neighbors[k];
-      if (seen[nbr]) continue;
-      seen[nbr] = 1;
-      queue.emplace_back(nbr, depth + 1);
+  for (size_t depth = 0; !ring.empty(); ++depth) {
+    if (result.size() + ring.size() > max_claims) {
+      // The cap lands inside this ring. Discovery order here is an artifact
+      // of CSR edge-insertion order, so keep the ring's smallest claim ids
+      // instead — a deterministic function of the logical coupling graph.
+      std::sort(ring.begin(), ring.end());
+      ring.resize(max_claims - result.size());
+      result.insert(result.end(), ring.begin(), ring.end());
+      break;
     }
+    result.insert(result.end(), ring.begin(), ring.end());
+    if (result.size() == max_claims || depth >= radius) break;
+    next_ring.clear();
+    for (const ClaimId node : ring) {
+      for (size_t k = mrf.offsets[node]; k < mrf.offsets[node + 1]; ++k) {
+        const ClaimId nbr = mrf.neighbors[k];
+        if (seen[nbr]) continue;
+        seen[nbr] = 1;
+        next_ring.push_back(nbr);
+      }
+    }
+    ring.swap(next_ring);
   }
   return result;
 }

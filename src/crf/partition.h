@@ -26,6 +26,11 @@ ClaimPartition PartitionClaims(const FactDatabase& db);
 /// re-inference during guidance; with fixed weights, validating a claim
 /// cannot influence claims outside its component, and in practice the
 /// effect decays with hop distance.
+///
+/// Truncation is ring-deterministic: complete BFS rings keep discovery
+/// order, and when the cap lands inside a ring the smallest claim ids of
+/// that ring are kept — a function of the logical coupling graph, not of
+/// the CSR edge-insertion order.
 std::vector<ClaimId> CouplingNeighborhood(const ClaimMrf& mrf, ClaimId center,
                                           size_t radius, size_t max_claims);
 

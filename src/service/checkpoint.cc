@@ -18,6 +18,7 @@ void WriteGibbs(BinaryWriter* w, const GibbsOptions& g) {
   w->U64(g.burn_in);
   w->U64(g.num_samples);
   w->U64(g.thin);
+  w->U64(g.num_threads);  // v2: was silently dropped — restores reset to 0
 }
 
 Status ReadGibbs(BinaryReader* r, GibbsOptions* g) {
@@ -28,6 +29,22 @@ Status ReadGibbs(BinaryReader* r, GibbsOptions* g) {
   g->num_samples = static_cast<size_t>(v);
   VERITAS_RETURN_IF_ERROR(r->U64(&v));
   g->thin = static_cast<size_t>(v);
+  VERITAS_RETURN_IF_ERROR(r->U64(&v));
+  g->num_threads = static_cast<size_t>(v);
+  return Status::OK();
+}
+
+void WriteBackend(BinaryWriter* w, CrfBackend backend) {
+  w->U8(static_cast<uint8_t>(backend));
+}
+
+Status ReadBackend(BinaryReader* r, CrfBackend* backend) {
+  uint8_t b = 0;
+  VERITAS_RETURN_IF_ERROR(r->U8(&b));
+  if (b > static_cast<uint8_t>(CrfBackend::kDispatch)) {
+    return Status::InvalidArgument("checkpoint: bad crf backend");
+  }
+  *backend = static_cast<CrfBackend>(b);
   return Status::OK();
 }
 
@@ -59,6 +76,8 @@ void WriteIcrfOptions(BinaryWriter* w, const ICrfOptions& o) {
   w->U64(o.max_em_iterations);
   w->F64(o.em_tolerance);
   w->U8(o.fit_weights ? 1 : 0);
+  WriteBackend(w, o.backend);               // v2
+  WriteBackend(w, o.hypothetical_backend);  // v2
 }
 
 Status ReadIcrfOptions(BinaryReader* r, ICrfOptions* o) {
@@ -96,6 +115,8 @@ Status ReadIcrfOptions(BinaryReader* r, ICrfOptions* o) {
   VERITAS_RETURN_IF_ERROR(r->F64(&o->em_tolerance));
   VERITAS_RETURN_IF_ERROR(r->U8(&b));
   o->fit_weights = b != 0;
+  VERITAS_RETURN_IF_ERROR(ReadBackend(r, &o->backend));
+  VERITAS_RETURN_IF_ERROR(ReadBackend(r, &o->hypothetical_backend));
   return Status::OK();
 }
 
@@ -107,6 +128,13 @@ void WriteGuidance(BinaryWriter* w, const GuidanceConfig& g) {
   w->U64(g.num_threads);
   w->U64(g.max_enumeration_claims);
   w->U64(g.seed);
+  // v2: the fan-out kernel selection and its schedule were silently dropped,
+  // so a restored session could resume with a different guidance kernel than
+  // the one it checkpointed under.
+  w->U8(static_cast<uint8_t>(g.fanout));
+  w->U64(g.fanout_base_sweeps);
+  w->U64(g.fanout_burn_in);
+  w->U64(g.fanout_samples);
 }
 
 Status ReadGuidance(BinaryReader* r, GuidanceConfig* g) {
@@ -128,6 +156,17 @@ Status ReadGuidance(BinaryReader* r, GuidanceConfig* g) {
   VERITAS_RETURN_IF_ERROR(r->U64(&v));
   g->max_enumeration_claims = static_cast<size_t>(v);
   VERITAS_RETURN_IF_ERROR(r->U64(&g->seed));
+  VERITAS_RETURN_IF_ERROR(r->U8(&b));
+  if (b > static_cast<uint8_t>(FanoutKernel::kBatched)) {
+    return Status::InvalidArgument("checkpoint: bad fanout kernel");
+  }
+  g->fanout = static_cast<FanoutKernel>(b);
+  VERITAS_RETURN_IF_ERROR(r->U64(&v));
+  g->fanout_base_sweeps = static_cast<size_t>(v);
+  VERITAS_RETURN_IF_ERROR(r->U64(&v));
+  g->fanout_burn_in = static_cast<size_t>(v);
+  VERITAS_RETURN_IF_ERROR(r->U64(&v));
+  g->fanout_samples = static_cast<size_t>(v);
   return Status::OK();
 }
 

@@ -30,7 +30,11 @@ namespace veritas {
 
 /// Current checkpoint format version. Bumped on any layout change; loaders
 /// reject versions they do not understand instead of misreading them.
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// v2: GibbsOptions carries num_threads, ICrfOptions the two CRF backend
+/// selectors, and GuidanceConfig the fan-out kernel + its schedule — all
+/// previously dropped on save, so restores silently reverted them to
+/// defaults.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Writes `session` to `directory` (created when missing, overwritten when
 /// not). The caller must hold the session's lock (the SessionManager does).

@@ -126,6 +126,8 @@ SessionSpec RandomSpec(Rng* rng) {
   icrf.max_em_iterations = AnySize(rng);
   icrf.em_tolerance = AnyFinite(rng);
   icrf.fit_weights = rng->Bernoulli(0.5);
+  icrf.backend = static_cast<CrfBackend>(rng->UniformInt(6));
+  icrf.hypothetical_backend = static_cast<CrfBackend>(rng->UniformInt(6));
   StreamingOptions& s = spec.streaming;
   s.icrf = icrf;
   s.step_a = AnyFinite(rng);
@@ -259,6 +261,11 @@ TEST(CodecRoundTripTest, SessionSpecEveryFieldSurvives) {
     EXPECT_EQ(decoded.validation.guidance.seed, spec.validation.guidance.seed);
     EXPECT_EQ(decoded.validation.icrf.crf.max_pairs_per_source,
               spec.validation.icrf.crf.max_pairs_per_source);
+    EXPECT_EQ(decoded.validation.icrf.backend, spec.validation.icrf.backend);
+    EXPECT_EQ(decoded.validation.icrf.hypothetical_backend,
+              spec.validation.icrf.hypothetical_backend);
+    EXPECT_EQ(decoded.validation.icrf.gibbs.num_threads,
+              spec.validation.icrf.gibbs.num_threads);
     EXPECT_TRUE(BitEqual(decoded.validation.icrf.tron.sigma3,
                          spec.validation.icrf.tron.sigma3));
     EXPECT_EQ(decoded.validation.termination.pir_folds,
@@ -491,6 +498,68 @@ TEST(CodecRejectionTest, TruncatedAndMalformedDocumentsRejected) {
       "{\"api_version\":1,\"id\":1,\"method\":\"advance\","
       "\"params\":{\"session\":\"seven\"}}");
   EXPECT_FALSE(confused.ok());
+}
+
+TEST(CodecRejectionTest, UnknownEnumValuesRejectedNotCoerced) {
+  // Every string-valued enum must reject names it does not know with
+  // kInvalidArgument — never coerce to a default, which would silently run
+  // a different algorithm than the caller asked for.
+  const struct {
+    const char* json;
+  } cases[] = {
+      {"{\"validation\":{\"icrf\":{\"backend\":\"quantum\"}}}"},
+      {"{\"validation\":{\"icrf\":{\"hypothetical_backend\":\"Gibbs\"}}}"},
+      {"{\"validation\":{\"strategy\":\"psychic\"}}"},
+      {"{\"validation\":{\"guidance\":{\"variant\":\"parallel\"}}}"},
+      {"{\"validation\":{\"guidance\":{\"fanout\":\"vectorized\"}}}"},
+      {"{\"user\":{\"kind\":\"omniscient\"}}"},
+  };
+  for (const auto& test_case : cases) {
+    auto parsed = ParseJson(test_case.json);
+    ASSERT_TRUE(parsed.ok()) << test_case.json;
+    SessionSpec spec;
+    const Status status = DecodeSessionSpec(parsed.value(), &spec);
+    EXPECT_FALSE(status.ok()) << test_case.json;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << test_case.json;
+  }
+}
+
+TEST(CodecRejectionTest, WrongTypeEnumValuesRejected) {
+  // Numeric payloads where a wire name is expected: out-of-range integers
+  // must not be castable into an enum through the decoder.
+  for (const char* json :
+       {"{\"validation\":{\"icrf\":{\"backend\":7}}}",
+        "{\"validation\":{\"strategy\":99}}",
+        "{\"validation\":{\"guidance\":{\"fanout\":2}}}"}) {
+    auto parsed = ParseJson(json);
+    ASSERT_TRUE(parsed.ok()) << json;
+    SessionSpec spec;
+    EXPECT_FALSE(DecodeSessionSpec(parsed.value(), &spec).ok()) << json;
+  }
+}
+
+TEST(CodecRoundTripTest, MissingBackendKeysDecodeToDefaults) {
+  // Payloads from pre-backend peers carry no backend keys at all: they must
+  // decode to kAuto — the exact legacy behavior — not error out.
+  auto parsed = ParseJson(
+      "{\"validation\":{\"icrf\":{\"max_em_iterations\":3}}}");
+  ASSERT_TRUE(parsed.ok());
+  SessionSpec spec;
+  ASSERT_TRUE(DecodeSessionSpec(parsed.value(), &spec).ok());
+  EXPECT_EQ(spec.validation.icrf.backend, CrfBackend::kAuto);
+  EXPECT_EQ(spec.validation.icrf.hypothetical_backend, CrfBackend::kAuto);
+  EXPECT_EQ(spec.validation.icrf.max_em_iterations, 3u);
+
+  // And the known names decode to the matching enumerators.
+  auto explicit_json = ParseJson(
+      "{\"validation\":{\"icrf\":{\"backend\":\"dispatch\","
+      "\"hypothetical_backend\":\"mean_field\"}}}");
+  ASSERT_TRUE(explicit_json.ok());
+  SessionSpec explicit_spec;
+  ASSERT_TRUE(DecodeSessionSpec(explicit_json.value(), &explicit_spec).ok());
+  EXPECT_EQ(explicit_spec.validation.icrf.backend, CrfBackend::kDispatch);
+  EXPECT_EQ(explicit_spec.validation.icrf.hypothetical_backend,
+            CrfBackend::kMeanField);
 }
 
 TEST(CodecRejectionTest, UnknownMembersAreTolerated) {

@@ -190,5 +190,31 @@ TEST(MarginalEntropyCacheTest, EpochAndSizeChangesForceFullRecompute) {
   EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
 }
 
+TEST(MarginalEntropyCacheTest, ShrinkThenTotalDropsStaleTailEntries) {
+  // Regression guard: when the probability vector SHRINKS (session reset,
+  // checkpoint restore to a smaller database), the cache must not keep the
+  // truncated tail's entropy contributions in Total(), and value() must be
+  // rebuilt against the new indices.
+  std::vector<double> probs{0.5, 0.5, 0.5, 0.5};  // each contributes log 2
+  MarginalEntropyCache cache;
+  cache.Refresh(probs, 1);
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+
+  probs.resize(2);
+  probs[0] = 0.9;
+  cache.Refresh(probs, 1);
+  EXPECT_EQ(cache.last_refreshed_entries(), 2u);  // size change -> full pass
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+  EXPECT_EQ(cache.value(0), BinaryEntropy(0.9));
+  EXPECT_EQ(cache.value(1), BinaryEntropy(0.5));
+
+  // Shrink-then-regrow to the original size: the regrown tail must be scored
+  // from the NEW probabilities, not resurrected from the pre-shrink cache.
+  probs = {0.1, 0.2, 0.3, 0.4};
+  cache.Refresh(probs, 1);
+  EXPECT_EQ(cache.Total(), ApproxDatabaseEntropy(probs));
+  EXPECT_EQ(cache.value(3), BinaryEntropy(0.4));
+}
+
 }  // namespace
 }  // namespace veritas

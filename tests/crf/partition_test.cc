@@ -74,6 +74,56 @@ TEST(NeighborhoodTest, CapTruncates) {
   EXPECT_EQ(hood.front(), 0u);  // center always first
 }
 
+// Regression: the cap used to cut the BFS frontier mid-ring in adjacency
+// order, so WHICH claims survived truncation depended on edge-insertion
+// order. Truncation must be a function of the logical coupling graph:
+// the overflowing ring keeps its smallest claim ids.
+TEST(NeighborhoodTest, CapTruncationIsEdgeOrderInvariant) {
+  ClaimMrf ascending;
+  ascending.field.assign(10, 0.0);
+  for (ClaimId i = 1; i < 10; ++i) ascending.edges.push_back({0, i, 0.5});
+  ascending.RebuildAdjacency();
+
+  // Same star, edges inserted in the reverse order: adjacency enumeration
+  // of claim 0 now yields 9, 8, ..., 1.
+  ClaimMrf descending;
+  descending.field.assign(10, 0.0);
+  for (ClaimId i = 9; i >= 1; --i) descending.edges.push_back({0, i, 0.5});
+  descending.RebuildAdjacency();
+
+  const auto a = CouplingNeighborhood(ascending, 0, 2, 4);
+  const auto b = CouplingNeighborhood(descending, 0, 2, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<ClaimId>{0, 1, 2, 3}));
+}
+
+// Complete rings keep BFS discovery order (adjacency order), so runs whose
+// cap is never hit mid-ring — including every default-configured run —
+// stay byte-identical to the pre-fix traversal.
+TEST(NeighborhoodTest, CompleteRingsKeepDiscoveryOrder) {
+  ClaimMrf mrf;
+  mrf.field.assign(5, 0.0);
+  mrf.edges = {{0, 3, 0.5}, {0, 1, 0.5}, {1, 2, 0.5}, {3, 4, 0.5}};
+  mrf.RebuildAdjacency();
+  // Ring 1 discovered as {3, 1} (edge order), ring 2 as {4, 2}.
+  const auto hood = CouplingNeighborhood(mrf, 0, 2, 100);
+  EXPECT_EQ(hood, (std::vector<ClaimId>{0, 3, 1, 4, 2}));
+}
+
+// When the cap lands in a deeper ring, earlier rings are untouched and only
+// the overflowing ring is id-sorted and prefix-taken.
+TEST(NeighborhoodTest, CapMidRingKeepsSmallestIdsOfThatRing) {
+  ClaimMrf mrf;
+  mrf.field.assign(6, 0.0);
+  // Ring 1 = {2, 1} by discovery, ring 2 = {5, 4, 3} by discovery.
+  mrf.edges = {{0, 2, 0.5}, {0, 1, 0.5}, {2, 5, 0.5}, {2, 4, 0.5}, {1, 3, 0.5}};
+  mrf.RebuildAdjacency();
+  const auto hood = CouplingNeighborhood(mrf, 0, 2, 4);
+  // Rings 0 and 1 complete in discovery order; ring 2 contributes its
+  // smallest id (3), not its first-discovered (5).
+  EXPECT_EQ(hood, (std::vector<ClaimId>{0, 2, 1, 3}));
+}
+
 TEST(NeighborhoodTest, InvalidCenterOrZeroCap) {
   ClaimMrf mrf;
   mrf.field = {0.0};

@@ -190,6 +190,39 @@ TEST_F(CheckpointTest, PendingExternalPlanSurvivesRoundTrip) {
   ExpectBitwiseEqual(live_view.value().probs, restored_view.value().probs);
 }
 
+// Regression: the v1 layout silently dropped gibbs.num_threads, the two CRF
+// backend selectors and the guidance fan-out kernel + schedule, so restored
+// sessions quietly reverted those knobs to defaults (a different kernel than
+// the one checkpointed under). v2 persists all of them.
+TEST_F(CheckpointTest, PreviouslyDroppedOptionFieldsSurviveRestore) {
+  auto corpus = MakeTinyCorpus(19);
+  SessionSpec spec = BatchSpec(91, 2);
+  spec.validation.icrf.gibbs.num_threads = 4;
+  spec.validation.icrf.hypothetical_gibbs.num_threads = 2;
+  spec.validation.icrf.backend = CrfBackend::kDispatch;
+  spec.validation.icrf.hypothetical_backend = CrfBackend::kMeanField;
+  spec.validation.guidance.fanout = FanoutKernel::kPerCandidate;
+  spec.validation.guidance.fanout_base_sweeps = 9;
+  spec.validation.guidance.fanout_burn_in = 5;
+  spec.validation.guidance.fanout_samples = 17;
+  auto session = Session::Create(corpus.db, spec);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Advance().ok());
+  ASSERT_TRUE(SaveSessionCheckpoint(*session.value(), dir_).ok());
+
+  auto restored = LoadSessionCheckpoint(dir_);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const SessionSpec& got = restored.value()->spec();
+  EXPECT_EQ(got.validation.icrf.gibbs.num_threads, 4u);
+  EXPECT_EQ(got.validation.icrf.hypothetical_gibbs.num_threads, 2u);
+  EXPECT_EQ(got.validation.icrf.backend, CrfBackend::kDispatch);
+  EXPECT_EQ(got.validation.icrf.hypothetical_backend, CrfBackend::kMeanField);
+  EXPECT_EQ(got.validation.guidance.fanout, FanoutKernel::kPerCandidate);
+  EXPECT_EQ(got.validation.guidance.fanout_base_sweeps, 9u);
+  EXPECT_EQ(got.validation.guidance.fanout_burn_in, 5u);
+  EXPECT_EQ(got.validation.guidance.fanout_samples, 17u);
+}
+
 TEST_F(CheckpointTest, UnsupportedVersionIsRejected) {
   auto corpus = MakeTinyCorpus(15);
   auto session = Session::Create(corpus.db, BatchSpec(61, 2));
