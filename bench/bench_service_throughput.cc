@@ -28,6 +28,11 @@
 // sessions, then the SessionRouter's 1/2/4-backend scaling curve with
 // sessions consistent-hashed across in-process worker stacks.
 // bench_report.sh records the "# fleet" footers into BENCH_guidance.json.
+//
+// --metrics-overhead switches to the observability cost gate (DESIGN.md
+// §14): the identical one-worker stack with the global metrics registry
+// enabled vs disabled, interleaved arms, best rep per arm. bench_report.sh
+// records the "# metrics" footers as "metrics_overhead" and fails above 1%.
 
 #include <algorithm>
 #include <atomic>
@@ -43,6 +48,7 @@
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
 #include "fleet/router.h"
+#include "obs/metrics.h"
 #include "service/request_queue.h"
 
 namespace veritas {
@@ -368,6 +374,128 @@ int RunSocketMode(const EmulatedCorpus& corpus, uint64_t seed) {
   return overhead_ms <= limit_ms ? 0 : 1;
 }
 
+// ---- metrics-overhead mode (DESIGN.md §14) ---------------------------------
+
+/// Cost gate for the always-on metrics registry: the same one-worker
+/// service stack driven with the global registry enabled (every queue,
+/// step, session and solver instrument recording) and disabled (the
+/// one-relaxed-load kill switch, standing in for a compiled-out build).
+///
+/// The recording tax being measured is microseconds under ~3 ms of step
+/// compute, so machine noise (co-tenants, core placement, frequency)
+/// dwarfs it in any appreciable timing window. The design squeezes that
+/// noise out by pairing as tightly as possible: TWO seed-identical
+/// sessions advance in lockstep through the same service stack, a slice
+/// of steps on one timed with the registry enabled and the same slice on
+/// the other with it disabled, back to back (~10 ms apart, so both halves
+/// of a pair see the same machine state and the queue's thread-handoff
+/// jitter averages out within a slice), with the order inside each pair
+/// alternating to cancel position bias. The gate reads the median of the
+/// per-slice-pair overheads — a noise spike that splits one pair lands in
+/// the tails.
+/// bench_report.sh fails the report when the overhead exceeds 1% of step
+/// throughput.
+int RunMetricsOverheadMode(const EmulatedCorpus& corpus, uint64_t seed) {
+  const size_t slice_steps = 4;
+  const size_t slices_per_session = 4;
+  const size_t budget = slice_steps * slices_per_session;
+  // Session pairs. Sized so the run spans several seconds: co-tenant load
+  // swings have correlation times around a second, and a run that fits
+  // inside one swing hands every pair the same bias.
+  const size_t rounds = 96;
+
+  SessionManager manager;
+  RequestQueueOptions queue_options;
+  queue_options.num_workers = 1;
+  RequestQueue queue(&manager, queue_options);
+  GuidanceApi api(&manager, &queue);
+
+  // One slice of steps through the full API stack; seconds out, false on
+  // failure.
+  auto timed_slice = [&](SessionId id, bool enabled, double* seconds) -> bool {
+    GlobalMetrics().set_enabled(enabled);
+    Stopwatch watch;
+    for (size_t step = 0; step < slice_steps; ++step) {
+      ApiRequest request;
+      request.params = AdvanceRequest{id};
+      ApiResponse response = api.Handle(request);
+      if (std::get_if<StepResponse>(&response.result) == nullptr) return false;
+    }
+    *seconds = watch.ElapsedSeconds();
+    return true;
+  };
+
+  auto median = [](std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    const size_t mid = samples.size() / 2;
+    return samples.size() % 2 == 1
+               ? samples[mid]
+               : 0.5 * (samples[mid - 1] + samples[mid]);
+  };
+
+  std::vector<double> pair_overheads;
+  double enabled_seconds = 0.0, disabled_seconds = 0.0;
+  size_t steps_timed = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    // Two identical sessions: the registry never feeds back into the
+    // computation, so they stay in lockstep and step k costs the same
+    // compute in both.
+    auto enabled_id =
+        manager.Create(corpus.db, ServiceBatchSpec(seed, budget, 0.0));
+    auto disabled_id =
+        manager.Create(corpus.db, ServiceBatchSpec(seed, budget, 0.0));
+    if (!enabled_id.ok() || !disabled_id.ok()) {
+      std::cerr << "create failed\n";
+      return 1;
+    }
+    for (size_t slice = 0; slice < slices_per_session; ++slice) {
+      double enabled_slice = 0.0, disabled_slice = 0.0;
+      const bool enabled_first = (round + slice) % 2 == 0;
+      bool ok =
+          enabled_first
+              ? timed_slice(enabled_id.value(), true, &enabled_slice) &&
+                    timed_slice(disabled_id.value(), false, &disabled_slice)
+              : timed_slice(disabled_id.value(), false, &disabled_slice) &&
+                    timed_slice(enabled_id.value(), true, &enabled_slice);
+      if (!ok) {
+        std::cerr << "step failed\n";
+        GlobalMetrics().set_enabled(true);
+        return 1;
+      }
+      if (round == 0 && slice == 0) continue;  // warm-up pair untimed
+      enabled_seconds += enabled_slice;
+      disabled_seconds += disabled_slice;
+      steps_timed += slice_steps;
+      pair_overheads.push_back((enabled_slice - disabled_slice) /
+                               disabled_slice * 100.0);
+    }
+    (void)manager.Terminate(enabled_id.value());
+    (void)manager.Terminate(disabled_id.value());
+  }
+  GlobalMetrics().set_enabled(true);
+
+  const double enabled_sps =
+      static_cast<double>(steps_timed) / enabled_seconds;
+  const double disabled_sps =
+      static_cast<double>(steps_timed) / disabled_seconds;
+  const double overhead_pct = median(pair_overheads);
+
+  TextTable table;
+  table.SetHeader({"registry", "steps/s"});
+  table.AddNumericRow("enabled", {enabled_sps}, 2);
+  table.AddNumericRow("disabled", {disabled_sps}, 2);
+  table.Print(std::cout);
+  std::cout << "# metrics steps_per_second_enabled = " << enabled_sps << "\n";
+  std::cout << "# metrics steps_per_second_disabled = " << disabled_sps
+            << "\n";
+  std::cout << "# metrics overhead_pct = " << overhead_pct << "\n";
+
+  PrintShapeCheck(overhead_pct <= 1.0,
+                  "instrumented step throughput stays within 1% of the "
+                  "registry-disabled run");
+  return overhead_pct <= 1.0 ? 0 : 1;
+}
+
 // ---- fleet mode (DESIGN.md §11) --------------------------------------------
 
 /// One backend worker: the full veritas_server stack behind an event-loop
@@ -568,6 +696,7 @@ int Main(int argc, char** argv) {
   WorkloadSpec work;
   bool socket_mode = false;
   bool fleet_mode = false;
+  bool metrics_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--latency=", 0) == 0) work.latency_ms = std::stod(arg.substr(10));
@@ -576,6 +705,7 @@ int Main(int argc, char** argv) {
     }
     if (arg == "--socket") socket_mode = true;
     if (arg == "--fleet") fleet_mode = true;
+    if (arg == "--metrics-overhead") metrics_mode = true;
   }
 
   // A small corpus per session: the service regime is many light sessions,
@@ -614,6 +744,13 @@ int Main(int argc, char** argv) {
                  "JSON-over-TCP loopback ("
               << corpus.value().db.num_claims() << " claims)\n";
     return RunSocketMode(corpus.value(), args.seed);
+  }
+
+  if (metrics_mode) {
+    std::cout << "Metrics-overhead mode - one batch session, registry "
+                 "enabled vs disabled ("
+              << corpus.value().db.num_claims() << " claims)\n";
+    return RunMetricsOverheadMode(corpus.value(), args.seed);
   }
 
   const double step_seconds = CalibrateStepSeconds(corpus.value(), args.seed);

@@ -3,7 +3,7 @@
 // restore it, and show that the restored session continues exactly where
 // the original stood.
 //
-//   ./examples/service_demo [sessions] [workers]
+//   ./examples/service_demo [--log-level=LEVEL] [sessions] [workers]
 
 #include <filesystem>
 #include <future>
@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "data/emulator.h"
 #include "examples/example_args.h"
@@ -21,18 +22,36 @@
 using namespace veritas;
 
 int main(int argc, char** argv) {
-  constexpr char kUsage[] = "[sessions] [workers]";
+  constexpr char kUsage[] = "[--log-level=LEVEL] [sessions] [workers]";
   size_t num_sessions = 4;
   size_t num_workers = 2;
-  if (argc > 1 && (!examples::ParseSize(argv[1], &num_sessions) ||
-                   num_sessions == 0)) {
-    examples::UsageError(argv[0], kUsage, argv[1]);
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (examples::FlagValue(arg, "log-level", &value)) {
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) {
+        examples::UsageError(argv[0], kUsage, arg);
+      }
+      SetLogLevel(level);
+    } else {
+      positional.push_back(arg);
+    }
   }
-  if (argc > 2 &&
-      (!examples::ParseSize(argv[2], &num_workers) || num_workers == 0)) {
-    examples::UsageError(argv[0], kUsage, argv[2]);
+  if (positional.size() > 0 && (!examples::ParseSize(positional[0],
+                                                     &num_sessions) ||
+                                num_sessions == 0)) {
+    examples::UsageError(argv[0], kUsage, positional[0]);
   }
-  if (argc > 3) examples::UsageError(argv[0], kUsage, argv[3]);
+  if (positional.size() > 1 && (!examples::ParseSize(positional[1],
+                                                     &num_workers) ||
+                                num_workers == 0)) {
+    examples::UsageError(argv[0], kUsage, positional[1]);
+  }
+  if (positional.size() > 2) {
+    examples::UsageError(argv[0], kUsage, positional[2]);
+  }
 
   // 1. One emulated corpus per checker — every session owns an independent
   //    database, engine and simulated validator.

@@ -7,6 +7,7 @@
 //   ./examples/example_veritas_router --backends=HOST:PORT,HOST:PORT,...
 //       [--port=N] [--port-file=PATH] [--checkpoint-dir=DIR]
 //       [--checkpoint-interval=N] [--max-sessions=N] [--threaded]
+//       [--metrics-port=N] [--metrics-port-file=PATH] [--log-level=LEVEL]
 //
 //   --backends=...          comma-separated worker addresses (required)
 //   --port=N                TCP port to listen on (default 0 = ephemeral)
@@ -16,6 +17,13 @@
 //   --max-sessions=N        fleet-wide live-session cap (default 0 = off)
 //   --threaded              thread-per-connection front end instead of the
 //                           default epoll event loop
+//   --metrics-port=N        serve the Prometheus exposition of the ROUTER's
+//                           own registry on this loopback port (0 =
+//                           ephemeral; the `metrics` wire method aggregates
+//                           the fleet instead)
+//   --metrics-port-file=P   write the bound metrics port to file P
+//   --log-level=L           debug|info|warning|error (overrides
+//                           VERITAS_LOG_LEVEL)
 //
 // Routing/failover events ("session 3 routed to backend ...", "backend ...
 // marked dead", "session 3 failed over to ...") print to stdout; the CI
@@ -30,8 +38,10 @@
 
 #include "api/event_server.h"
 #include "api/server.h"
+#include "common/logging.h"
 #include "examples/example_args.h"
 #include "fleet/router.h"
+#include "obs/exposition.h"
 
 using namespace veritas;
 using examples::FlagValue;
@@ -44,7 +54,8 @@ namespace {
 constexpr char kUsage[] =
     "--backends=HOST:PORT,... [--port=N] [--port-file=PATH]\n"
     "    [--checkpoint-dir=DIR] [--checkpoint-interval=N] [--max-sessions=N]"
-    " [--threaded]";
+    " [--threaded]\n"
+    "    [--metrics-port=N] [--metrics-port-file=PATH] [--log-level=LEVEL]";
 
 std::vector<std::string> SplitCommas(const std::string& text) {
   std::vector<std::string> parts;
@@ -65,6 +76,9 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   std::string port_file;
   bool threaded = false;
+  bool serve_metrics = false;
+  uint16_t metrics_port = 0;
+  std::string metrics_port_file;
   SessionRouterOptions router_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +99,15 @@ int main(int argc, char** argv) {
       if (!ParseSize(value, &router_options.max_sessions)) {
         UsageError(argv[0], kUsage, arg);
       }
+    } else if (FlagValue(arg, "metrics-port", &value)) {
+      if (!ParseUint16(value, &metrics_port)) UsageError(argv[0], kUsage, arg);
+      serve_metrics = true;
+    } else if (FlagValue(arg, "metrics-port-file", &value)) {
+      metrics_port_file = value;
+    } else if (FlagValue(arg, "log-level", &value)) {
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) UsageError(argv[0], kUsage, arg);
+      SetLogLevel(level);
     } else if (arg == "--threaded") {
       threaded = true;
     } else {
@@ -129,6 +152,31 @@ int main(int argc, char** argv) {
       return 1;
     }
     server = std::move(started).value();
+  }
+
+  std::unique_ptr<MetricsHttpServer> metrics_server;
+  if (serve_metrics) {
+    MetricsHttpOptions metrics_options;
+    metrics_options.port = metrics_port;
+    auto started = MetricsHttpServer::Start(
+        [] { return GlobalMetrics().Snapshot(); }, metrics_options);
+    if (!started.ok()) {
+      std::cerr << "metrics endpoint start failed: " << started.status()
+                << "\n";
+      return 1;
+    }
+    metrics_server = std::move(started).value();
+    std::cout << "metrics on http://127.0.0.1:" << metrics_server->port()
+              << "/metrics" << std::endl;
+    if (!metrics_port_file.empty()) {
+      std::ofstream out(metrics_port_file);
+      if (!out) {
+        std::cerr << "cannot write metrics port file " << metrics_port_file
+                  << "\n";
+        return 1;
+      }
+      out << metrics_server->port() << "\n";
+    }
   }
 
   std::cout << "veritas_router listening on 127.0.0.1:" << server->port()

@@ -6,7 +6,8 @@
 // behind examples/veritas_router for a fleet (DESIGN.md §11).
 //
 //   ./examples/example_veritas_server [--port=N] [--port-file=PATH]
-//                                     [--workers=N] [--threaded] [--once]
+//       [--workers=N] [--threaded] [--once] [--metrics-port=N]
+//       [--metrics-port-file=PATH] [--log-level=LEVEL]
 //
 //   --port=N        TCP port to listen on (default 0 = ephemeral; the
 //                   assigned port is printed and written to --port-file)
@@ -16,6 +17,10 @@
 //   --threaded      thread-per-connection transport (api/server.h) instead
 //                   of the default epoll event loop (api/event_server.h)
 //   --once          exit after the first client disconnects (CI smoke)
+//   --metrics-port=N       serve the Prometheus text exposition on this
+//                          loopback port (0 = ephemeral; omit to disable)
+//   --metrics-port-file=P  write the bound metrics port to file P
+//   --log-level=L   debug|info|warning|error (overrides VERITAS_LOG_LEVEL)
 
 #include <fstream>
 #include <iostream>
@@ -25,7 +30,9 @@
 #include "api/event_server.h"
 #include "api/server.h"
 #include "api/service.h"
+#include "common/logging.h"
 #include "examples/example_args.h"
+#include "obs/exposition.h"
 
 using namespace veritas;
 using examples::FlagValue;
@@ -36,7 +43,8 @@ using examples::UsageError;
 namespace {
 
 constexpr char kUsage[] =
-    "[--port=N] [--port-file=PATH] [--workers=N] [--threaded] [--once]";
+    "[--port=N] [--port-file=PATH] [--workers=N] [--threaded] [--once]\n"
+    "    [--metrics-port=N] [--metrics-port-file=PATH] [--log-level=LEVEL]";
 
 }  // namespace
 
@@ -46,6 +54,9 @@ int main(int argc, char** argv) {
   size_t workers = 2;
   bool threaded = false;
   bool once = false;
+  bool serve_metrics = false;
+  uint16_t metrics_port = 0;
+  std::string metrics_port_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -57,6 +68,15 @@ int main(int argc, char** argv) {
       if (!ParseSize(value, &workers) || workers == 0) {
         UsageError(argv[0], kUsage, arg);
       }
+    } else if (FlagValue(arg, "metrics-port", &value)) {
+      if (!ParseUint16(value, &metrics_port)) UsageError(argv[0], kUsage, arg);
+      serve_metrics = true;
+    } else if (FlagValue(arg, "metrics-port-file", &value)) {
+      metrics_port_file = value;
+    } else if (FlagValue(arg, "log-level", &value)) {
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) UsageError(argv[0], kUsage, arg);
+      SetLogLevel(level);
     } else if (arg == "--threaded") {
       threaded = true;
     } else if (arg == "--once") {
@@ -93,6 +113,31 @@ int main(int argc, char** argv) {
     }
     server = std::move(started).value();
   }
+  std::unique_ptr<MetricsHttpServer> metrics_server;
+  if (serve_metrics) {
+    MetricsHttpOptions metrics_options;
+    metrics_options.port = metrics_port;
+    auto started = MetricsHttpServer::Start(
+        [] { return GlobalMetrics().Snapshot(); }, metrics_options);
+    if (!started.ok()) {
+      std::cerr << "metrics endpoint start failed: " << started.status()
+                << "\n";
+      return 1;
+    }
+    metrics_server = std::move(started).value();
+    std::cout << "metrics on http://127.0.0.1:" << metrics_server->port()
+              << "/metrics\n";
+    if (!metrics_port_file.empty()) {
+      std::ofstream out(metrics_port_file);
+      if (!out) {
+        std::cerr << "cannot write metrics port file " << metrics_port_file
+                  << "\n";
+        return 1;
+      }
+      out << metrics_server->port() << "\n";
+    }
+  }
+
   std::cout << "veritas_server listening on 127.0.0.1:" << server->port()
             << " (" << (threaded ? "threaded" : "event loop") << ", "
             << workers << " workers, api v" << kApiVersion << ")\n";

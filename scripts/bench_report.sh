@@ -9,9 +9,10 @@
 # multi-session service throughput bench (bench_service_throughput: open-
 # loop Poisson workload at 1/2/4/8 workers, DESIGN.md §9), its --socket
 # wire-overhead mode (per-step codec+transport cost of the JSON-over-TCP
-# loopback API, DESIGN.md §10), its --fleet mode (event-loop vs threaded
-# front end and the session router's 1/2/4-backend scaling curve,
-# DESIGN.md §11) plus the HypotheticalEngine micro-kernels
+# loopback API, DESIGN.md §10), its --metrics-overhead mode (cost of the
+# always-on metrics registry, DESIGN.md §14, gate <= 1%), its --fleet mode
+# (event-loop vs threaded front end and the session router's 1/2/4-backend
+# scaling curve, DESIGN.md §11) plus the HypotheticalEngine micro-kernels
 # from bench_micro_kernels (when Google Benchmark is available), and emits
 # BENCH_guidance.json next to the repo root. The committed scripts/bench_baseline_fig02.json (pre-refactor
 # capture) is embedded so every future PR has a perf trajectory to compare
@@ -162,11 +163,34 @@ if [[ -n "${socket_overhead:-}" ]] &&
   exit 1
 fi
 
+# Metrics overhead (bench_service_throughput --metrics-overhead, DESIGN.md
+# §14): step throughput with the always-on metrics registry enabled vs the
+# runtime kill switch. Gate: the instrumented arm stays within 1% of the
+# disabled arm — observability must never tax the serving hot path.
+metrics_txt="$(mktemp)"
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt" "$service_txt" "$socket_txt" "$metrics_txt"' EXIT
+"$build_dir"/bench/bench_service_throughput --metrics-overhead | tee "$metrics_txt"
+
+metrics_field() {
+  awk -v key="$1" '$0 ~ "^# metrics " key " = " { print $NF }' "$metrics_txt"
+}
+metrics_enabled="$(metrics_field steps_per_second_enabled)"
+metrics_disabled="$(metrics_field steps_per_second_disabled)"
+metrics_overhead_pct="$(metrics_field overhead_pct)"
+if [[ -z "${metrics_overhead_pct:-}" ]]; then
+  echo "error: bench_service_throughput --metrics-overhead emitted no '# metrics overhead_pct' footer" >&2
+  exit 1
+fi
+if ! awk -v o="$metrics_overhead_pct" 'BEGIN { exit !(o <= 1.0) }'; then
+  echo "error: metrics overhead ${metrics_overhead_pct}% exceeds the 1% gate" >&2
+  exit 1
+fi
+
 # Fleet scaling (bench_service_throughput --fleet, DESIGN.md §11): the
 # event-loop front end vs thread-per-connection at 64 connections, and the
 # router's 1/2/4-backend scaling curve over think-time-bound sessions.
 fleet_txt="$(mktemp)"
-trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt" "$service_txt" "$socket_txt" "$fleet_txt"' EXIT
+trap 'rm -f "$fig02_txt" "$kernel_txt" "$backend_txt" "$service_txt" "$socket_txt" "$metrics_txt" "$fleet_txt"' EXIT
 "$build_dir"/bench/bench_service_throughput --fleet | tee "$fleet_txt"
 
 fleet_field() {
@@ -250,6 +274,13 @@ fi
   echo "    \"codec_transport_overhead_ms_per_step\": ${socket_overhead:-null},"
   echo "    \"codec_us_per_roundtrip\": ${socket_codec_us:-null},"
   echo "    \"step_response_bytes\": ${socket_bytes:-null}"
+  echo "  },"
+  echo "  \"metrics_overhead\": {"
+  echo "    \"workload\": \"one batch session, global metrics registry enabled vs disabled (bench_service_throughput --metrics-overhead)\","
+  echo "    \"steps_per_second_enabled\": ${metrics_enabled:-null},"
+  echo "    \"steps_per_second_disabled\": ${metrics_disabled:-null},"
+  echo "    \"overhead_pct\": ${metrics_overhead_pct:-null},"
+  echo "    \"gate_max_overhead_pct\": 1.0"
   echo "  },"
   echo "  \"fleet_scaling\": {"
   echo "    \"workload\": \"closed-loop think-time-bound sessions over the session router (bench_service_throughput --fleet)\","

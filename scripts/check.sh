@@ -11,11 +11,14 @@
 #        SMOKE=0 scripts/check.sh [build-dir]  (skip the smoke — for CI,
 #                                               which runs it as its own step)
 #
-# The default path ends with two smokes: the server/client loopback smoke
-# (a veritas_server on an ephemeral port driven by a veritas_client session
-# over the wire protocol, DESIGN.md §10) and the fleet failover smoke (a
-# veritas_router over two workers, one worker killed mid-session, the
-# client finishing on the survivor, DESIGN.md §11).
+# The default path ends with three smokes: the server/client loopback
+# smoke (a veritas_server on an ephemeral port driven by a veritas_client
+# session over the wire protocol, DESIGN.md §10), the fleet failover smoke
+# (a veritas_router over two workers, one worker killed mid-session, the
+# client finishing on the survivor, DESIGN.md §11), and the metrics scrape
+# smoke (a veritas_server with --metrics-port, one session driven through
+# it, /metrics scraped over raw HTTP and checked against the Prometheus
+# text grammar with a non-empty step-latency histogram, DESIGN.md §14).
 #
 # ASAN=1 builds with Address + UndefinedBehavior sanitizers and runs the
 # crf/ and core/ suites — the ones exercising the HypotheticalEngine
@@ -23,9 +26,11 @@
 # backends' sub-MRF extraction (crf_solver_test) — so buffer reuse stays
 # leak- and UB-clean.
 #
-# TSAN=1 builds with ThreadSanitizer and runs the service/, api/ and crf/
-# suites — the ones exercising the SessionManager's per-session locking,
-# the RequestQueue worker pool, the ApiServer's accept/handler threads, the
+# TSAN=1 builds with ThreadSanitizer and runs the service/, api/, obs/ and
+# crf/ suites — the ones exercising the SessionManager's per-session
+# locking, the RequestQueue worker pool, the ApiServer's accept/handler
+# threads, the sharded MetricsRegistry counters under contention
+# (obs_metrics_test) and its HTTP scrape thread (obs_exposition_test), the
 # HypotheticalEngine's striped caches and the parallel inference kernels
 # (chromatic color-class sweeps in crf_chromatic_test, sharded batched
 # fan-out in crf_fanout_test, the DispatchSolver's per-component fan-out in
@@ -186,9 +191,82 @@ run_fleet_smoke() {
   echo "fleet smoke: PASS"
 }
 
+# Metrics scrape smoke: a veritas_server with a Prometheus endpoint
+# (--metrics-port), one session driven through it, then /metrics scraped
+# over raw HTTP (bash /dev/tcp — no curl in minimal CI images) and
+# validated: HTTP 200, every body line conforms to the Prometheus text
+# grammar, and the step-latency histogram is non-empty (the session's
+# steps actually landed in the registry).
+run_metrics_smoke() {
+  local build_dir="$1"
+  echo "== metrics scrape smoke (veritas_server --metrics-port)"
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target example_veritas_server example_veritas_client > /dev/null
+  local tmp_dir
+  tmp_dir="$(mktemp -d)"
+  local status=0
+  "$build_dir"/examples/example_veritas_server \
+    --port=0 --port-file="$tmp_dir/server.port" \
+    --metrics-port=0 --metrics-port-file="$tmp_dir/metrics.port" &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp_dir/server.port" && -s "$tmp_dir/metrics.port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$tmp_dir/server.port" || ! -s "$tmp_dir/metrics.port" ]]; then
+    echo "metrics smoke: server never published its ports" >&2
+    kill "$server_pid" 2> /dev/null || true
+    rm -rf "$tmp_dir"
+    return 1
+  fi
+  timeout 60 "$build_dir"/examples/example_veritas_client \
+    --port="$(cat "$tmp_dir/server.port")" --claims=12 --budget=3 \
+    > /dev/null || status=1
+  local scrape=""
+  scrape="$(timeout 10 bash -c '
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf "GET /metrics HTTP/1.0\r\n\r\n" >&3
+    cat <&3' -- "$(cat "$tmp_dir/metrics.port")" 2> /dev/null)" || status=1
+  kill "$server_pid" 2> /dev/null || true
+  wait "$server_pid" 2> /dev/null || true
+  if ! head -1 <<< "$scrape" | grep -q '200 OK'; then
+    echo "metrics smoke: scrape did not return HTTP 200" >&2
+    status=1
+  fi
+  local body
+  body="$(printf '%s\n' "$scrape" | tr -d '\r' | sed '1,/^$/d')"
+  if [[ -z "$body" ]]; then
+    echo "metrics smoke: empty exposition body" >&2
+    status=1
+  # Prometheus text grammar: every line is a `# TYPE` comment or a
+  # `name[{labels}] value` sample.
+  elif ! printf '%s\n' "$body" | awk '
+      /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$/ { next }
+      /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9][0-9.eE+-]*$/ { next }
+      { bad = 1; exit }
+      END { exit bad }'; then
+    echo "metrics smoke: exposition failed the Prometheus grammar check" >&2
+    printf '%s\n' "$body" >&2
+    status=1
+  elif ! printf '%s\n' "$body" | awk '
+      $1 == "veritas_queue_service_seconds_count" && $2 + 0 > 0 { ok = 1 }
+      END { exit !ok }'; then
+    echo "metrics smoke: step-latency histogram is empty" >&2
+    printf '%s\n' "$body" >&2
+    status=1
+  fi
+  rm -rf "$tmp_dir"
+  if [[ "$status" != 0 ]]; then
+    echo "metrics smoke: FAILED" >&2
+    return 1
+  fi
+  echo "metrics smoke: PASS"
+}
+
 if [[ "${SMOKE:-0}" == "1" ]]; then
   run_smoke "${1:-build}"
   run_fleet_smoke "${1:-build}"
+  run_metrics_smoke "${1:-build}"
   exit
 fi
 
@@ -204,6 +282,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   status=0
   for suite in "$build_dir"/tests/service_*_test "$build_dir"/tests/api_*_test \
                "$build_dir"/tests/fleet_*_test "$build_dir"/tests/crf_*_test \
+               "$build_dir"/tests/obs_*_test \
                "$build_dir"/tests/common_thread_pool_test \
                "$build_dir"/tests/common_socket_test; do
     echo "== ${suite##*/}"
@@ -237,4 +316,5 @@ cmake --build "$build_dir" -j "$(nproc)"
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
 if [[ "${SMOKE:-}" != "0" ]]; then
   run_smoke "$build_dir"
+  run_metrics_smoke "$build_dir"
 fi

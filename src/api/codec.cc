@@ -1,5 +1,6 @@
 #include "api/codec.h"
 
+#include <limits>
 #include <utility>
 
 namespace veritas {
@@ -602,6 +603,8 @@ void EncodeServiceStats(const ServiceStats& stats, JsonWriter* w) {
   w->Key("spill_restores").UInt(stats.spill_restores);
   w->Key("resident_bytes").UInt(stats.resident_bytes);
   w->Key("steps_served").UInt(stats.steps_served);
+  w->Key("spill_bytes").UInt(stats.spill_bytes);
+  w->Key("peak_resident_bytes").UInt(stats.peak_resident_bytes);
   w->EndObject();
 }
 
@@ -621,6 +624,9 @@ Status DecodeServiceStats(const JsonValue& value, ServiceStats* stats) {
   VERITAS_RETURN_IF_ERROR(
       GetSize(value, "resident_bytes", &stats->resident_bytes));
   VERITAS_RETURN_IF_ERROR(GetSize(value, "steps_served", &stats->steps_served));
+  VERITAS_RETURN_IF_ERROR(GetSize(value, "spill_bytes", &stats->spill_bytes));
+  VERITAS_RETURN_IF_ERROR(
+      GetSize(value, "peak_resident_bytes", &stats->peak_resident_bytes));
   return Status::OK();
 }
 
@@ -659,6 +665,7 @@ const char* ApiMethodName(ApiMethod method) {
     case ApiMethod::kRestore: return "restore";
     case ApiMethod::kStats: return "stats";
     case ApiMethod::kTerminate: return "terminate";
+    case ApiMethod::kMetrics: return "metrics";
   }
   return "stats";
 }
@@ -1007,6 +1014,102 @@ Status DecodeValidationOutcome(const JsonValue& value,
   return Status::OK();
 }
 
+void EncodeHistogramSnapshot(const HistogramSnapshot& hist, JsonWriter* w) {
+  w->BeginObject();
+  // The +Inf overflow bound has no JSON literal (the writer rejects
+  // non-finite doubles); the wire carries the finite bounds only and the
+  // decoder reappends +Inf — so "counts" has one more element than
+  // "bounds".
+  w->Key("bounds").BeginArray();
+  for (size_t i = 0; i + 1 < hist.upper_bounds.size(); ++i) {
+    w->Double(hist.upper_bounds[i]);
+  }
+  w->EndArray();
+  w->Key("counts").BeginArray();
+  for (const uint64_t c : hist.counts) w->UInt(c);
+  w->EndArray();
+  w->Key("sum").Double(hist.sum);
+  w->Key("count").UInt(hist.count);
+  w->EndObject();
+}
+
+Status DecodeHistogramSnapshot(const JsonValue& value, HistogramSnapshot* hist) {
+  VERITAS_RETURN_IF_ERROR(RequireObject(value, "histogram"));
+  hist->upper_bounds.clear();
+  VERITAS_RETURN_IF_ERROR(GetDoubleVector(value, "bounds", &hist->upper_bounds));
+  hist->upper_bounds.push_back(std::numeric_limits<double>::infinity());
+  hist->counts.clear();
+  if (const JsonValue* counts = value.Find("counts")) {
+    if (!counts->is_array()) {
+      return Status::InvalidArgument("counts: expected an array");
+    }
+    for (const JsonValue& item : counts->items()) {
+      auto parsed = item.AsU64();
+      if (!parsed.ok()) return Contextualize(parsed.status(), "counts");
+      hist->counts.push_back(parsed.value());
+    }
+  }
+  if (hist->counts.size() != hist->upper_bounds.size()) {
+    return Status::InvalidArgument("histogram: bounds/counts size mismatch");
+  }
+  VERITAS_RETURN_IF_ERROR(GetDouble(value, "sum", &hist->sum));
+  VERITAS_RETURN_IF_ERROR(GetU64(value, "count", &hist->count));
+  return Status::OK();
+}
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w->Key(name).UInt(value);
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w->Key(name).Int(value);
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w->Key(name);
+    EncodeHistogramSnapshot(hist, w);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+Status DecodeMetricsSnapshot(const JsonValue& value, MetricsSnapshot* snapshot) {
+  VERITAS_RETURN_IF_ERROR(RequireObject(value, "metrics"));
+  snapshot->counters.clear();
+  snapshot->gauges.clear();
+  snapshot->histograms.clear();
+  if (const JsonValue* counters = value.Find("counters")) {
+    VERITAS_RETURN_IF_ERROR(RequireObject(*counters, "counters"));
+    for (const auto& [name, member] : counters->members()) {
+      auto parsed = member.AsU64();
+      if (!parsed.ok()) return Contextualize(parsed.status(), name.c_str());
+      snapshot->counters[name] = parsed.value();
+    }
+  }
+  if (const JsonValue* gauges = value.Find("gauges")) {
+    VERITAS_RETURN_IF_ERROR(RequireObject(*gauges, "gauges"));
+    for (const auto& [name, member] : gauges->members()) {
+      auto parsed = member.AsI64();
+      if (!parsed.ok()) return Contextualize(parsed.status(), name.c_str());
+      snapshot->gauges[name] = parsed.value();
+    }
+  }
+  if (const JsonValue* histograms = value.Find("histograms")) {
+    VERITAS_RETURN_IF_ERROR(RequireObject(*histograms, "histograms"));
+    for (const auto& [name, member] : histograms->members()) {
+      HistogramSnapshot hist;
+      VERITAS_RETURN_IF_ERROR(DecodeHistogramSnapshot(member, &hist));
+      snapshot->histograms[name] = std::move(hist);
+    }
+  }
+  return Status::OK();
+}
+
 // ---- envelopes -------------------------------------------------------------
 
 namespace {
@@ -1021,6 +1124,7 @@ const char* ResultTypeName(const ApiResponse& response) {
     case 5: return "restore";
     case 6: return "stats";
     case 7: return "terminate";
+    case 8: return "metrics";
     default: return "error";
   }
 }
@@ -1032,6 +1136,9 @@ Result<std::string> EncodeRequest(const ApiRequest& request) {
   w.BeginObject();
   w.Key("api_version").UInt(request.api_version);
   w.Key("id").UInt(request.id);
+  // Omitted entirely when empty: untraced envelopes stay byte-identical to
+  // the pre-tracing protocol (the parity suites pin this).
+  if (!request.trace_id.empty()) w.Key("trace_id").String(request.trace_id);
   w.Key("method").String(ApiMethodName(request.method()));
   w.Key("params");
   std::visit(
@@ -1059,7 +1166,8 @@ Result<std::string> EncodeRequest(const ApiRequest& request) {
           w.BeginObject();
           w.Key("directory").String(params.directory);
           w.EndObject();
-        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+        } else if constexpr (std::is_same_v<T, StatsRequest> ||
+                             std::is_same_v<T, MetricsRequest>) {
           w.BeginObject();
           w.EndObject();
         } else {
@@ -1083,6 +1191,7 @@ Result<ApiRequest> DecodeRequest(const std::string& json, uint64_t* id_out) {
   ApiRequest request;
   VERITAS_RETURN_IF_ERROR(GetU64(root, "id", &request.id));
   if (id_out != nullptr) *id_out = request.id;
+  VERITAS_RETURN_IF_ERROR(GetString(root, "trace_id", &request.trace_id));
 
   const JsonValue* version = root.Find("api_version");
   if (version == nullptr) {
@@ -1150,6 +1259,8 @@ Result<ApiRequest> DecodeRequest(const std::string& json, uint64_t* id_out) {
     request.params = std::move(restore);
   } else if (method == "stats") {
     request.params = StatsRequest{};
+  } else if (method == "metrics") {
+    request.params = MetricsRequest{};
   } else if (method == "terminate") {
     TerminateRequest terminate;
     VERITAS_RETURN_IF_ERROR(GetU64(*params, "session", &terminate.session));
@@ -1165,6 +1276,7 @@ Result<std::string> EncodeResponse(const ApiResponse& response) {
   w.BeginObject();
   w.Key("api_version").UInt(response.api_version);
   w.Key("id").UInt(response.id);
+  if (!response.trace_id.empty()) w.Key("trace_id").String(response.trace_id);
   w.Key("ok").Bool(!IsError(response));
   if (IsError(response)) {
     const ErrorResponse& error = std::get<ErrorResponse>(response.result);
@@ -1206,6 +1318,8 @@ Result<std::string> EncodeResponse(const ApiResponse& response) {
             w.EndObject();
           } else if constexpr (std::is_same_v<T, TerminateResponse>) {
             EncodeValidationOutcome(result.outcome, &w);
+          } else if constexpr (std::is_same_v<T, MetricsResponse>) {
+            EncodeMetricsSnapshot(result.snapshot, &w);
           } else {
             w.Null();  // unreachable: the error branch handled index 0
           }
@@ -1224,6 +1338,7 @@ Result<ApiResponse> DecodeResponse(const std::string& json) {
 
   ApiResponse response;
   VERITAS_RETURN_IF_ERROR(GetU64(root, "id", &response.id));
+  VERITAS_RETURN_IF_ERROR(GetString(root, "trace_id", &response.trace_id));
   const JsonValue* version = root.Find("api_version");
   if (version == nullptr) {
     return Status::InvalidArgument("response: missing api_version");
@@ -1307,6 +1422,10 @@ Result<ApiResponse> DecodeResponse(const std::string& json) {
     TerminateResponse terminate;
     VERITAS_RETURN_IF_ERROR(DecodeValidationOutcome(*result, &terminate.outcome));
     response.result = std::move(terminate);
+  } else if (result_type == "metrics") {
+    MetricsResponse metrics;
+    VERITAS_RETURN_IF_ERROR(DecodeMetricsSnapshot(*result, &metrics.snapshot));
+    response.result = std::move(metrics);
   } else {
     return Status::Unimplemented("response: unknown result_type \"" +
                                  result_type + "\"");

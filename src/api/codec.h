@@ -70,6 +70,15 @@ void EncodeValidationOutcome(const ValidationOutcome& outcome,
 Status DecodeValidationOutcome(const JsonValue& value,
                                ValidationOutcome* outcome);
 
+/// The wire carries a histogram's finite bounds only (JSON has no Infinity
+/// literal); the decoder reappends the +Inf overflow bound, so `counts`
+/// always has one more element than the encoded `bounds` array.
+void EncodeHistogramSnapshot(const HistogramSnapshot& hist, JsonWriter* writer);
+Status DecodeHistogramSnapshot(const JsonValue& value, HistogramSnapshot* hist);
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* writer);
+Status DecodeMetricsSnapshot(const JsonValue& value, MetricsSnapshot* snapshot);
+
 }  // namespace veritas
 
 #endif  // VERITAS_API_CODEC_H_

@@ -9,12 +9,41 @@
 #include <iterator>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace veritas {
 
 namespace {
 
 constexpr uint64_t kListenerId = 1;
 constexpr uint64_t kWakeId = 2;
+
+/// Wire-level registry handles, labeled transport="event" (the threaded
+/// server registers the same family under transport="threaded").
+struct WireMetrics {
+  MetricsRegistry::Counter* connections;
+  MetricsRegistry::Counter* frames;
+  MetricsRegistry::Counter* bytes_read;
+  MetricsRegistry::Counter* bytes_written;
+  MetricsRegistry::Counter* frame_errors;
+};
+
+const WireMetrics& Metrics() {
+  static const WireMetrics metrics = [] {
+    MetricsRegistry& registry = GlobalMetrics();
+    const auto name = [](const char* family) {
+      return WithLabel(family, "transport", "event");
+    };
+    WireMetrics m;
+    m.connections = registry.counter(name("veritas_wire_connections_total"));
+    m.frames = registry.counter(name("veritas_wire_frames_total"));
+    m.bytes_read = registry.counter(name("veritas_wire_bytes_read_total"));
+    m.bytes_written = registry.counter(name("veritas_wire_bytes_written_total"));
+    m.frame_errors = registry.counter(name("veritas_wire_frame_errors_total"));
+    return m;
+  }();
+  return metrics;
+}
 
 uint32_t DecodeLength(const char* bytes) {
   const unsigned char* u = reinterpret_cast<const unsigned char*>(bytes);
@@ -160,6 +189,7 @@ void EventApiServer::HandleAccept() {
     conn.socket = std::move(socket);
     conn.epoll_events = EPOLLIN;
     connections_.emplace(id, std::move(conn));
+    Metrics().connections->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     ++open_;
   }
@@ -179,10 +209,12 @@ void EventApiServer::HandleReadable(uint64_t id, Connection* conn) {
       break;
     }
     conn->in.append(buffer, received.value().bytes);
+    Metrics().bytes_read->Increment(received.value().bytes);
   }
   if (!ParseFrames(conn)) {
     // Oversized length prefix: protocol abuse, close without a response —
     // the same behavior the threaded server's ReadFrame failure produces.
+    Metrics().frame_errors->Increment();
     CloseConnection(id, conn);
     return;
   }
@@ -202,6 +234,7 @@ bool EventApiServer::ParseFrames(Connection* conn) {
     if (conn->in.size() < 4 + static_cast<size_t>(length)) return true;
     conn->pending.push_back(conn->in.substr(4, length));
     conn->in.erase(0, 4 + static_cast<size_t>(length));
+    Metrics().frames->Increment();
   }
 }
 
@@ -266,6 +299,7 @@ bool EventApiServer::FlushWrites(Connection* conn) {
     if (!sent.ok()) return false;
     if (sent.value().would_block) break;
     conn->out_offset += sent.value().bytes;
+    Metrics().bytes_written->Increment(sent.value().bytes);
   }
   if (conn->out_offset >= conn->out.size()) {
     conn->out.clear();

@@ -2,7 +2,40 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace veritas {
+
+namespace {
+
+/// Wire-level registry handles, labeled transport="threaded" (the event
+/// server registers the same family under transport="event").
+struct WireMetrics {
+  MetricsRegistry::Counter* connections;
+  MetricsRegistry::Counter* frames;
+  MetricsRegistry::Counter* bytes_read;
+  MetricsRegistry::Counter* bytes_written;
+  MetricsRegistry::Counter* frame_errors;
+};
+
+const WireMetrics& Metrics() {
+  static const WireMetrics metrics = [] {
+    MetricsRegistry& registry = GlobalMetrics();
+    const auto name = [](const char* family) {
+      return WithLabel(family, "transport", "threaded");
+    };
+    WireMetrics m;
+    m.connections = registry.counter(name("veritas_wire_connections_total"));
+    m.frames = registry.counter(name("veritas_wire_frames_total"));
+    m.bytes_read = registry.counter(name("veritas_wire_bytes_read_total"));
+    m.bytes_written = registry.counter(name("veritas_wire_bytes_written_total"));
+    m.frame_errors = registry.counter(name("veritas_wire_frame_errors_total"));
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 ApiServer::ApiServer(FrameHandler* handler, const ApiServerOptions& options)
     : handler_(handler), options_(options) {}
@@ -58,10 +91,22 @@ void ApiServer::AcceptLoop() {
 }
 
 void ApiServer::ServeConnection(Socket connection, size_t slot) {
+  Metrics().connections->Increment();
   for (;;) {
     auto frame = ReadFrame(connection, options_.max_frame_bytes);
-    if (!frame.ok()) break;  // disconnect (clean or otherwise)
-    if (!WriteFrame(connection, handler_->HandleFrame(frame.value())).ok()) break;
+    if (!frame.ok()) {
+      // Clean EOF is kUnavailable; anything else (truncated or oversized
+      // frame) is a decode error worth counting.
+      if (frame.status().code() != StatusCode::kUnavailable) {
+        Metrics().frame_errors->Increment();
+      }
+      break;
+    }
+    Metrics().frames->Increment();
+    Metrics().bytes_read->Increment(4 + frame.value().size());
+    const std::string response = handler_->HandleFrame(frame.value());
+    if (!WriteFrame(connection, response).ok()) break;
+    Metrics().bytes_written->Increment(4 + response.size());
   }
   std::lock_guard<std::mutex> lock(mu_);
   connection_fds_[slot] = -1;

@@ -1,10 +1,27 @@
 #include "api/service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "api/codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace veritas {
+
+namespace {
+
+const char* StepKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kAdvance: return "advance";
+    case RequestKind::kAnswer: return "answer";
+    case RequestKind::kGround: return "ground";
+    case RequestKind::kTerminate: return "terminate";
+  }
+  return "?";
+}
+
+}  // namespace
 
 GuidanceApi::GuidanceApi(SessionManager* manager, RequestQueue* queue)
     : manager_(manager), queue_(queue) {}
@@ -15,6 +32,11 @@ Result<ServiceResponse> GuidanceApi::SubmitStep(ServiceRequest request) {
     if (!submitted.ok()) return submitted.status();
     return std::move(submitted).value().get();
   }
+  // Queueless direct path: the queue's worker instrumentation does not run,
+  // so the step span and slow-step detection happen here.
+  static MetricsRegistry::Histogram* const step_span =
+      GlobalMetrics().histogram(TraceSpanMetricName("step"));
+  const auto started = std::chrono::steady_clock::now();
   ServiceResponse response;
   switch (request.kind) {
     case RequestKind::kAdvance: {
@@ -42,15 +64,25 @@ Result<ServiceResponse> GuidanceApi::SubmitStep(ServiceRequest request) {
       break;
     }
   }
+  response.service_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (!request.trace_id.empty()) step_span->Record(response.service_seconds);
+  if (response.service_seconds > SlowStepThresholdSeconds()) {
+    LogSlowStep(request.trace_id, request.session, StepKindName(request.kind),
+                0.0, response.service_seconds);
+  }
   return response;
 }
 
 Result<ServiceResponse> GuidanceApi::ServeStep(RequestKind kind,
                                                SessionId session,
+                                               const std::string& trace_id,
                                                StepAnswers answers) {
   ServiceRequest step;
   step.kind = kind;
   step.session = session;
+  step.trace_id = trace_id;
   step.answers = std::move(answers);
   auto served = SubmitStep(std::move(step));
   if (!served.ok()) return served.status();
@@ -71,22 +103,24 @@ ApiResponse GuidanceApi::Dispatch(const ApiRequest& request) {
           }
           response.result = CreateSessionResponse{created.value()};
         } else if constexpr (std::is_same_v<T, AdvanceRequest>) {
-          auto served = ServeStep(RequestKind::kAdvance, params.session);
+          auto served =
+              ServeStep(RequestKind::kAdvance, params.session, request.trace_id);
           if (!served.ok()) {
             response = MakeErrorResponse(request.id, served.status());
             return;
           }
           response.result = StepResponse{std::move(served).value().step};
         } else if constexpr (std::is_same_v<T, AnswerRequest>) {
-          auto served =
-              ServeStep(RequestKind::kAnswer, params.session, params.answers);
+          auto served = ServeStep(RequestKind::kAnswer, params.session,
+                                  request.trace_id, params.answers);
           if (!served.ok()) {
             response = MakeErrorResponse(request.id, served.status());
             return;
           }
           response.result = StepResponse{std::move(served).value().step};
         } else if constexpr (std::is_same_v<T, GroundRequest>) {
-          auto served = ServeStep(RequestKind::kGround, params.session);
+          auto served =
+              ServeStep(RequestKind::kGround, params.session, request.trace_id);
           if (!served.ok()) {
             response = MakeErrorResponse(request.id, served.status());
             return;
@@ -111,9 +145,12 @@ ApiResponse GuidanceApi::Dispatch(const ApiRequest& request) {
           StatsResponse stats;
           stats.stats = manager_->Snapshot(&stats.sessions);
           response.result = std::move(stats);
+        } else if constexpr (std::is_same_v<T, MetricsRequest>) {
+          response.result = MetricsResponse{GlobalMetrics().Snapshot()};
         } else {
           static_assert(std::is_same_v<T, TerminateRequest>);
-          auto served = ServeStep(RequestKind::kTerminate, params.session);
+          auto served = ServeStep(RequestKind::kTerminate, params.session,
+                                  request.trace_id);
           if (!served.ok()) {
             response = MakeErrorResponse(request.id, served.status());
             return;
@@ -129,6 +166,7 @@ ApiResponse GuidanceApi::Dispatch(const ApiRequest& request) {
 ApiResponse GuidanceApi::Handle(const ApiRequest& request) {
   ApiResponse response = Dispatch(request);
   response.id = request.id;
+  response.trace_id = request.trace_id;
   return response;
 }
 

@@ -56,8 +56,10 @@ class GuidanceApi : public FrameHandler {
   Result<ServiceResponse> SubmitStep(ServiceRequest request);
   /// SubmitStep with both failure layers folded into the Status: a queue
   /// rejection and a failed step surface identically, and a returned
-  /// response always carries an OK status.
+  /// response always carries an OK status. `trace_id` (optional) propagates
+  /// into the queue's trace spans and the slow-step log.
   Result<ServiceResponse> ServeStep(RequestKind kind, SessionId session,
+                                    const std::string& trace_id,
                                     StepAnswers answers = {});
 
   SessionManager* manager_;

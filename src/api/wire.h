@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "service/session_manager.h"
 
 namespace veritas {
@@ -38,6 +39,7 @@ enum class ApiMethod : uint8_t {
   kRestore = 5,
   kStats = 6,
   kTerminate = 7,
+  kMetrics = 8,
 };
 
 /// Stable wire name of a method ("create_session", "advance", ...).
@@ -87,15 +89,25 @@ struct TerminateRequest {
   SessionId session = 0;
 };
 
+/// Observability snapshot of the serving process (DESIGN.md §14). Routers
+/// aggregate it across live backends, like `stats`.
+struct MetricsRequest {};
+
 /// A decoded request envelope. The active alternative of `params` IS the
 /// method; `method()` derives the enumerator from it.
 struct ApiRequest {
   uint32_t api_version = kApiVersion;
   /// Client-chosen correlation id, echoed verbatim in the response.
   uint64_t id = 0;
+  /// Optional client-owned trace id (DESIGN.md §14). Empty = untraced, and
+  /// the codec then omits the member entirely, keeping untraced envelopes
+  /// byte-identical to the pre-tracing protocol. Non-empty ids propagate
+  /// router → backend → queue → step unchanged and are echoed in the
+  /// response.
+  std::string trace_id;
   std::variant<CreateSessionRequest, AdvanceRequest, AnswerRequest,
                GroundRequest, CheckpointRequest, RestoreRequest, StatsRequest,
-               TerminateRequest>
+               TerminateRequest, MetricsRequest>
       params;
 
   ApiMethod method() const { return static_cast<ApiMethod>(params.index()); }
@@ -145,14 +157,24 @@ struct TerminateResponse {
   ValidationOutcome outcome;
 };
 
+/// The registry snapshot of the serving process — or, through a router,
+/// the bucketwise merge across every live backend plus the router's own
+/// registry (its router-stage trace spans live there).
+struct MetricsResponse {
+  MetricsSnapshot snapshot;
+};
+
 /// A decoded response envelope. ErrorResponse is the first alternative:
 /// IsError() is an index check.
 struct ApiResponse {
   uint32_t api_version = kApiVersion;
   uint64_t id = 0;  ///< echoes the request id
+  /// Echo of the request's trace_id (empty = untraced, omitted on the
+  /// wire).
+  std::string trace_id;
   std::variant<ErrorResponse, CreateSessionResponse, StepResponse,
                GroundResponse, CheckpointResponse, RestoreResponse,
-               StatsResponse, TerminateResponse>
+               StatsResponse, TerminateResponse, MetricsResponse>
       result;
 };
 

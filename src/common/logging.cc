@@ -1,12 +1,25 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace veritas {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Process-start default: kWarning, unless VERITAS_LOG_LEVEL names another
+/// level (a malformed value is ignored — logging must never fail a boot).
+int InitialLevel() {
+  if (const char* env = std::getenv("VERITAS_LOG_LEVEL")) {
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) return static_cast<int>(parsed);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,6 +39,27 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 

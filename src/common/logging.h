@@ -10,9 +10,17 @@ namespace veritas {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the global minimum severity that is emitted (default kWarning so that
-/// tests and benches stay quiet unless asked otherwise).
+/// tests and benches stay quiet unless asked otherwise). The
+/// VERITAS_LOG_LEVEL environment variable ("debug", "info", "warning",
+/// "error") overrides the default at process start; SetLogLevel overrides
+/// both at runtime (the --log-level flags of the server/router/demo
+/// binaries go through it).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name, case-insensitive ("debug", "info", "warning" or
+/// "warn", "error"). False on anything else; `out` untouched.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
 
 namespace internal {
 

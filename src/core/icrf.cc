@@ -1,10 +1,43 @@
 #include "core/icrf.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace veritas {
+
+namespace {
+
+/// Per-backend registry handles (DESIGN.md §14), labeled with the
+/// backend's canonical wire name:
+///   veritas_crf_backend_selected_total{backend="..."} — Infer() calls
+///   veritas_crf_sweep_seconds{backend="..."}          — one Marginals solve
+struct BackendMetrics {
+  MetricsRegistry::Counter* selected;
+  MetricsRegistry::Histogram* sweep_seconds;
+};
+
+const BackendMetrics& MetricsFor(CrfBackend backend) {
+  static const auto metrics = [] {
+    std::array<BackendMetrics, 6> m{};
+    MetricsRegistry& registry = GlobalMetrics();
+    for (size_t b = 0; b < m.size(); ++b) {
+      const char* name = CrfBackendName(static_cast<CrfBackend>(b));
+      m[b].selected = registry.counter(
+          WithLabel("veritas_crf_backend_selected_total", "backend", name));
+      m[b].sweep_seconds = registry.histogram(
+          WithLabel("veritas_crf_sweep_seconds", "backend", name));
+    }
+    return m;
+  }();
+  return metrics[static_cast<size_t>(backend)];
+}
+
+}  // namespace
 
 ICrf::ICrf(const FactDatabase* db, const ICrfOptions& options, uint64_t seed)
     : db_(db), options_(options), rng_(seed), model_(CrfModel::ForDatabase(*db)) {}
@@ -67,6 +100,8 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
                                              : CrfBackend::kGibbs;
   }
   const CrfSolver& solver = SolverFor(backend);
+  const BackendMetrics& backend_metrics = MetricsFor(backend);
+  backend_metrics.selected->Increment();
   for (size_t em = 0; em < options_.max_em_iterations; ++em) {
     ++stats.em_iterations;
     // E-step: rebuild fields from the current weights and previous-iteration
@@ -99,7 +134,12 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
       // default runs would diverge.
       sopts.draw_seed = rng_.NextU64();
     }
+    const auto sweep_started = std::chrono::steady_clock::now();
     auto result = solver.Marginals(mrf_, *state, sopts);
+    backend_metrics.sweep_seconds->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_started)
+            .count());
     if (!result.ok()) return result.status();
     last_samples_ = std::move(result.value().samples);
     std::vector<double> new_probs = std::move(result.value().marginals);

@@ -1,11 +1,44 @@
 #include "fleet/router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace veritas {
 
 namespace {
+
+/// Router registry handles (DESIGN.md §14): fleet events the RouterStats
+/// struct also counts (these are scrape-able over time and merge into the
+/// fleet-wide `metrics` aggregate) plus the per-round-trip forward latency
+/// and the router-stage trace span.
+struct RouterMetrics {
+  MetricsRegistry::Counter* failovers;
+  MetricsRegistry::Counter* migrations;
+  MetricsRegistry::Counter* ring_changes;
+  MetricsRegistry::Counter* admission_rejects;
+  MetricsRegistry::Histogram* forward_seconds;
+  MetricsRegistry::Histogram* router_span;
+};
+
+const RouterMetrics& Metrics() {
+  static const RouterMetrics metrics = [] {
+    MetricsRegistry& registry = GlobalMetrics();
+    RouterMetrics m;
+    m.failovers = registry.counter("veritas_router_failovers_total");
+    m.migrations = registry.counter("veritas_router_migrations_total");
+    m.ring_changes = registry.counter("veritas_router_ring_changes_total");
+    m.admission_rejects =
+        registry.counter("veritas_router_admission_rejects_total");
+    m.forward_seconds = registry.histogram("veritas_router_forward_seconds");
+    m.router_span = registry.histogram(TraceSpanMetricName("router"));
+    return m;
+  }();
+  return metrics;
+}
 
 /// Splits "host:port". The host may not contain ':' (IPv4/hostname only,
 /// matching common/socket.h).
@@ -129,16 +162,35 @@ std::string SessionRouter::HandleFrame(const std::string& request_frame) {
 }
 
 ApiResponse SessionRouter::Dispatch(const ApiRequest& request) {
+  const auto started = std::chrono::steady_clock::now();
+  ApiResponse response;
   switch (request.method()) {
     case ApiMethod::kCreateSession:
-      return HandleCreate(request);
+      response = HandleCreate(request);
+      break;
     case ApiMethod::kRestore:
-      return HandleRestore(request);
+      response = HandleRestore(request);
+      break;
     case ApiMethod::kStats:
-      return HandleStats(request);
+      response = HandleStats(request);
+      break;
+    case ApiMethod::kMetrics:
+      response = HandleMetrics(request);
+      break;
     default:
-      return HandleSessionOp(request, SessionOf(request));
+      response = HandleSessionOp(request, SessionOf(request));
+      break;
   }
+  if (!request.trace_id.empty()) {
+    // Router-stage span: everything between decode and encode, including
+    // the backend round trip(s) this request needed.
+    Metrics().router_span->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+    response.trace_id = request.trace_id;
+  }
+  return response;
 }
 
 ApiResponse SessionRouter::HandleCreate(const ApiRequest& request) {
@@ -148,6 +200,7 @@ ApiResponse SessionRouter::HandleCreate(const ApiRequest& request) {
     if (options_.max_sessions > 0 &&
         routes_.size() >= options_.max_sessions) {
       ++admission_rejects_;
+      Metrics().admission_rejects->Increment();
       return MakeErrorResponse(
           request.id, Status::Unavailable("fleet session limit reached (" +
                                           std::to_string(
@@ -305,6 +358,11 @@ ApiResponse SessionRouter::HandleStats(const ApiRequest& request) {
     aggregate.stats.spill_restores += stats->stats.spill_restores;
     aggregate.stats.resident_bytes += stats->stats.resident_bytes;
     aggregate.stats.steps_served += stats->stats.steps_served;
+    aggregate.stats.spill_bytes += stats->stats.spill_bytes;
+    // Summed per-backend peaks: an upper bound on the fleet-wide peak (the
+    // backends need not have peaked simultaneously), consistent with every
+    // other field being a fleet-wide sum.
+    aggregate.stats.peak_resident_bytes += stats->stats.peak_resident_bytes;
     std::lock_guard<std::mutex> lock(mu_);
     for (SessionInfo info : stats->sessions) {
       // Translate into the router's id space; a backend session the router
@@ -325,6 +383,38 @@ ApiResponse SessionRouter::HandleStats(const ApiRequest& request) {
   return response;
 }
 
+ApiResponse SessionRouter::HandleMetrics(const ApiRequest& request) {
+  MetricsSnapshot aggregate;
+  std::vector<size_t> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (backends_[i]->alive) live.push_back(i);
+    }
+  }
+  ApiRequest metrics_request;
+  metrics_request.id = request.id;
+  metrics_request.params = MetricsRequest{};
+  for (size_t backend : live) {
+    auto reply = Forward(backend, metrics_request);
+    if (!reply.ok()) {
+      MarkDead(backend, reply.status());
+      continue;
+    }
+    auto* metrics = std::get_if<MetricsResponse>(&reply.value().result);
+    if (metrics == nullptr) continue;
+    MergeSnapshot(&aggregate, metrics->snapshot);
+  }
+  // The router's own registry last: router-stage trace spans, forward
+  // latencies, failover/ring counters, and the wire metrics of the
+  // transport hosting this router.
+  MergeSnapshot(&aggregate, GlobalMetrics().Snapshot());
+  ApiResponse response;
+  response.id = request.id;
+  response.result = MetricsResponse{std::move(aggregate)};
+  return response;
+}
+
 Result<ApiResponse> SessionRouter::Forward(size_t backend,
                                            const ApiRequest& request) {
   auto encoded = EncodeRequest(request);
@@ -333,6 +423,7 @@ Result<ApiResponse> SessionRouter::Forward(size_t backend,
     // backend's: surface it as an application error, not a transport one.
     return MakeErrorResponse(request.id, encoded.status());
   }
+  ScopedLatencyTimer timer(Metrics().forward_seconds);
   auto connection = AcquireConnection(backend);
   if (!connection.ok()) return connection.status();
   Socket socket = std::move(connection).value();
@@ -389,6 +480,7 @@ void SessionRouter::MarkDead(size_t backend, const Status& cause) {
     std::lock_guard<std::mutex> lock(b.pool_mu);
     b.idle.clear();
   }
+  Metrics().ring_changes->Increment();
   Log("backend " + b.address + " marked dead: " + cause.message());
 }
 
@@ -448,6 +540,7 @@ Status SessionRouter::Failover(SessionId router_id, RouteState* route) {
       reverse_[{backend, restored->session}] = router_id;
       ++failovers_;
     }
+    Metrics().failovers->Increment();
     // The restored session IS the checkpoint state: replaying the lost
     // step from here reproduces the unfailed trace bit-for-bit.
     route->steps_since_checkpoint = 0;
@@ -551,6 +644,7 @@ Status SessionRouter::Migrate(SessionId session, const std::string& target) {
     reverse_[{target_index, restored->session}] = session;
     ++migrations_;
   }
+  Metrics().migrations->Increment();
   route->steps_since_checkpoint = 0;
   Log("session " + std::to_string(session) + " migrated to backend " +
       target);

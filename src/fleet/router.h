@@ -138,6 +138,10 @@ class SessionRouter : public FrameHandler {
   ApiResponse HandleCreate(const ApiRequest& request);
   ApiResponse HandleRestore(const ApiRequest& request);
   ApiResponse HandleStats(const ApiRequest& request);
+  /// Aggregates the `metrics` method across live backends (bucketwise
+  /// MergeSnapshot) and folds in the router's own registry — its
+  /// router-stage trace spans and failover counters live there.
+  ApiResponse HandleMetrics(const ApiRequest& request);
   ApiResponse HandleSessionOp(const ApiRequest& request, SessionId session);
 
   /// Places a create/restore request on the ring (retrying over survivors

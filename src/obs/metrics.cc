@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace veritas {
+
+namespace {
+
+/// Sticky per-thread stripe: threads are dealt stripes round-robin on
+/// first use, so K concurrent recorders spread over min(K, kShards)
+/// cachelines instead of hammering one.
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % MetricsRegistry::kShards;
+  return index;
+}
+
+/// Smallest bucket whose upper bound is >= value. Bucket i's upper bound
+/// is kFirstBound * 2^i; frexp gives the exponent directly, so this is
+/// wait-free and branch-light — no loop over bounds.
+size_t BucketFor(double value) {
+  if (!(value > MetricsRegistry::kFirstBound)) return 0;  // also NaN/neg
+  int exponent = 0;
+  const double mantissa =
+      std::frexp(value / MetricsRegistry::kFirstBound, &exponent);
+  // value/first = m * 2^e with m in [0.5, 1): ceil(log2) is e, except at
+  // exact powers of two (m == 0.5) where it is e-1.
+  size_t bucket = static_cast<size_t>(mantissa == 0.5 ? exponent - 1 : exponent);
+  if (bucket >= MetricsRegistry::kFiniteBuckets) {
+    bucket = MetricsRegistry::kNumBuckets - 1;  // +inf overflow
+  }
+  return bucket;
+}
+
+}  // namespace
+
+double HistogramSnapshot::QuantileUpperBound(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile among `count` recordings (1-based, ceil).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return upper_bounds[i];
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+void MergeSnapshot(MetricsSnapshot* into, const MetricsSnapshot& from) {
+  for (const auto& [name, value] : from.counters) into->counters[name] += value;
+  for (const auto& [name, value] : from.gauges) into->gauges[name] += value;
+  for (const auto& [name, histogram] : from.histograms) {
+    auto it = into->histograms.find(name);
+    if (it == into->histograms.end()) {
+      into->histograms.emplace(name, histogram);
+      continue;
+    }
+    HistogramSnapshot& target = it->second;
+    if (target.upper_bounds != histogram.upper_bounds) continue;  // foreign layout
+    for (size_t i = 0; i < target.counts.size(); ++i) {
+      target.counts[i] += histogram.counts[i];
+    }
+    target.sum += histogram.sum;
+    target.count += histogram.count;
+  }
+}
+
+std::string WithLabel(const std::string& name, const std::string& key,
+                      const std::string& value) {
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+void MetricsRegistry::Counter::Increment(uint64_t delta) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricsRegistry::Gauge::Set(int64_t value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Gauge::Add(int64_t delta) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t MetricsRegistry::Gauge::Value() const {
+  return value_.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Histogram::Record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  Shard& shard = shards_[ShardIndex()];
+  shard.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  // The sum accumulates integer nanoseconds so it stays a wait-free
+  // fetch_add (no atomic<double> CAS loop). Negative/NaN clamp to 0.
+  const double nanos = value > 0.0 ? value * 1e9 : 0.0;
+  shard.sum_nanos.fetch_add(static_cast<uint64_t>(nanos),
+                            std::memory_order_relaxed);
+}
+
+HistogramSnapshot MetricsRegistry::Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.upper_bounds.resize(kNumBuckets);
+  snapshot.counts.assign(kNumBuckets, 0);
+  double bound = kFirstBound;
+  for (size_t i = 0; i < kFiniteBuckets; ++i) {
+    snapshot.upper_bounds[i] = bound;
+    bound *= 2.0;
+  }
+  snapshot.upper_bounds[kNumBuckets - 1] =
+      std::numeric_limits<double>::infinity();
+  uint64_t sum_nanos = 0;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snapshot.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum_nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+  }
+  for (const uint64_t c : snapshot.counts) snapshot.count += c;
+  snapshot.sum = static_cast<double>(sum_nanos) * 1e-9;
+  return snapshot;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_))).first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+ScopedLatencyTimer::ScopedLatencyTimer(MetricsRegistry::Histogram* histogram)
+    : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->Record(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+}
+
+}  // namespace veritas

@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace veritas {
+
+namespace {
+
+/// Threshold in nanoseconds (atomic<double> lacks a portable lock-free
+/// guarantee; integers do not).
+std::atomic<int64_t> g_slow_step_nanos{[] {
+  int64_t nanos = 1'000'000'000;  // 1 s
+  if (const char* env = std::getenv("VERITAS_SLOW_STEP_MS")) {
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    if (end != env && *end == '\0' && ms >= 0.0) {
+      nanos = static_cast<int64_t>(ms * 1e6);
+    }
+  }
+  return nanos;
+}()};
+
+}  // namespace
+
+const char* TraceSpanMetricName(const char* stage) {
+  // The three serving stages a traced request crosses. Interned so call
+  // sites cannot typo a label into a new series.
+  static const std::string kRouter =
+      WithLabel("veritas_trace_span_seconds", "stage", "router");
+  static const std::string kQueue =
+      WithLabel("veritas_trace_span_seconds", "stage", "queue");
+  static const std::string kStep =
+      WithLabel("veritas_trace_span_seconds", "stage", "step");
+  const std::string stage_name(stage);
+  if (stage_name == "router") return kRouter.c_str();
+  if (stage_name == "queue") return kQueue.c_str();
+  return kStep.c_str();
+}
+
+double SlowStepThresholdSeconds() {
+  return static_cast<double>(
+             g_slow_step_nanos.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+void SetSlowStepThresholdSeconds(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  g_slow_step_nanos.store(static_cast<int64_t>(seconds * 1e9),
+                          std::memory_order_relaxed);
+}
+
+void LogSlowStep(const std::string& trace_id, uint64_t session,
+                 const char* kind, double wait_seconds,
+                 double service_seconds) {
+  static MetricsRegistry::Counter* slow_steps =
+      GlobalMetrics().counter("veritas_slow_steps_total");
+  slow_steps->Increment();
+  VERITAS_LOG(Warning) << "slow_step trace_id=" << trace_id
+                       << " session=" << session << " kind=" << kind
+                       << " wait_s=" << wait_seconds
+                       << " service_s=" << service_seconds
+                       << " threshold_s=" << SlowStepThresholdSeconds();
+}
+
+}  // namespace veritas

@@ -1,0 +1,39 @@
+/// \file
+/// Request-tracing conventions (DESIGN.md §14). A trace is client-owned:
+/// the JSON envelope's optional `trace_id` member (absent = untraced, and
+/// untraced traffic is byte-identical to the pre-tracing protocol). The id
+/// propagates router → backend → queue → session step unchanged; each
+/// stage records its span into the trace-span histogram family
+///   veritas_trace_span_seconds{stage="router"|"queue"|"step"}
+/// of the global registry — per-stage latency distributions, not per-trace
+/// storage (unbounded-cardinality per-id series are exactly what a metrics
+/// registry must not hold). The individual slow request surfaces through
+/// the structured slow-step log line instead, which carries the trace_id.
+
+#ifndef VERITAS_OBS_TRACE_H_
+#define VERITAS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace veritas {
+
+/// Trace-span histogram keys, one per serving stage.
+const char* TraceSpanMetricName(const char* stage);
+
+/// Steps whose execution exceeds this threshold emit a structured
+/// WARN-level log line ("slow_step trace_id=... session=... ..."). The
+/// default is 1 s; the VERITAS_SLOW_STEP_MS environment variable overrides
+/// it at process start, SetSlowStepThresholdSeconds at runtime.
+double SlowStepThresholdSeconds();
+void SetSlowStepThresholdSeconds(double seconds);
+
+/// One structured slow-step record; logged at WARN when service_seconds
+/// crosses the threshold, and counted in veritas_slow_steps_total.
+void LogSlowStep(const std::string& trace_id, uint64_t session,
+                 const char* kind, double wait_seconds,
+                 double service_seconds);
+
+}  // namespace veritas
+
+#endif  // VERITAS_OBS_TRACE_H_

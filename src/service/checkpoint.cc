@@ -3,12 +3,38 @@
 #include <filesystem>
 
 #include "data/io.h"
+#include "obs/metrics.h"
 
 namespace veritas {
 
 namespace {
 
 constexpr uint8_t kMagic[4] = {'V', 'C', 'K', 'P'};
+
+/// Registry handles (DESIGN.md §14). Instrumented here — not at call sites —
+/// so manager spills, wire-requested checkpoints and router failover
+/// checkpoints all count through the same family.
+struct CheckpointMetrics {
+  MetricsRegistry::Counter* saves;
+  MetricsRegistry::Counter* loads;
+  MetricsRegistry::Histogram* save_seconds;
+  MetricsRegistry::Histogram* load_seconds;
+  MetricsRegistry::Histogram* bytes;
+};
+
+const CheckpointMetrics& Metrics() {
+  static const CheckpointMetrics metrics = [] {
+    MetricsRegistry& registry = GlobalMetrics();
+    CheckpointMetrics m;
+    m.saves = registry.counter("veritas_checkpoint_saves_total");
+    m.loads = registry.counter("veritas_checkpoint_loads_total");
+    m.save_seconds = registry.histogram("veritas_checkpoint_save_seconds");
+    m.load_seconds = registry.histogram("veritas_checkpoint_load_seconds");
+    m.bytes = registry.histogram("veritas_checkpoint_bytes");
+    return m;
+  }();
+  return metrics;
+}
 
 // ---- options ---------------------------------------------------------------
 // Field-by-field framing: the format is defined by the write order below and
@@ -515,8 +541,23 @@ Status ReadValidationState(BinaryReader* r, ValidationSessionState* s) {
 
 }  // namespace
 
+size_t CheckpointSizeBytes(const std::string& directory) {
+  std::error_code ec;
+  size_t total = 0;
+  std::filesystem::recursive_directory_iterator it(directory, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const uintmax_t size = entry.file_size(entry_ec);
+    if (!entry_ec) total += static_cast<size_t>(size);
+  }
+  return total;
+}
+
 Status SaveSessionCheckpoint(const Session& session,
                              const std::string& directory) {
+  ScopedLatencyTimer timer(Metrics().save_seconds);
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -560,11 +601,17 @@ Status SaveSessionCheckpoint(const Session& session,
   WriteRng(&w, user_rng != nullptr ? user_rng->SaveState() : RngState());
 
   w.U64(session.steps_served_);
-  return w.WriteFile(directory + "/session.bin");
+  const Status written = w.WriteFile(directory + "/session.bin");
+  if (written.ok()) {
+    Metrics().saves->Increment();
+    Metrics().bytes->Record(static_cast<double>(CheckpointSizeBytes(directory)));
+  }
+  return written;
 }
 
 Result<std::unique_ptr<Session>> LoadSessionCheckpoint(
     const std::string& directory) {
+  ScopedLatencyTimer timer(Metrics().load_seconds);
   auto reader = BinaryReader::FromFile(directory + "/session.bin");
   if (!reader.ok()) return reader.status();
   BinaryReader r = std::move(reader).value();
@@ -683,6 +730,7 @@ Result<std::unique_ptr<Session>> LoadSessionCheckpoint(
   uint64_t steps = 0;
   VERITAS_RETURN_IF_ERROR(r.U64(&steps));
   session->steps_served_ = static_cast<size_t>(steps);
+  Metrics().loads->Increment();
   return session;
 }
 

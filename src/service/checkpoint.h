@@ -47,6 +47,12 @@ Status SaveSessionCheckpoint(const Session& session,
 Result<std::unique_ptr<Session>> LoadSessionCheckpoint(
     const std::string& directory);
 
+/// Total on-disk bytes of a checkpoint directory (recursive). 0 when the
+/// directory is missing or unreadable — sizing is diagnostic, never fatal.
+/// Feeds the SessionManager's spill_bytes counter and the checkpoint-size
+/// histogram (DESIGN.md §14).
+size_t CheckpointSizeBytes(const std::string& directory);
+
 }  // namespace veritas
 
 #endif  // VERITAS_SERVICE_CHECKPOINT_H_

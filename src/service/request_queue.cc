@@ -2,7 +2,53 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace veritas {
+
+namespace {
+
+/// Registry handles (DESIGN.md §14). The wait/service histograms are
+/// always-on (every request); the trace-span histograms record only when a
+/// request carries a trace_id.
+struct QueueMetrics {
+  MetricsRegistry::Counter* accepted;
+  MetricsRegistry::Counter* rejected;
+  MetricsRegistry::Counter* completed;
+  MetricsRegistry::Histogram* wait_seconds;
+  MetricsRegistry::Histogram* service_seconds;
+  MetricsRegistry::Histogram* queue_span;
+  MetricsRegistry::Histogram* step_span;
+};
+
+const QueueMetrics& Metrics() {
+  static const QueueMetrics metrics = [] {
+    MetricsRegistry& registry = GlobalMetrics();
+    QueueMetrics m;
+    m.accepted = registry.counter("veritas_queue_accepted_total");
+    m.rejected = registry.counter("veritas_queue_rejected_total");
+    m.completed = registry.counter("veritas_queue_completed_total");
+    m.wait_seconds = registry.histogram("veritas_queue_wait_seconds");
+    m.service_seconds = registry.histogram("veritas_queue_service_seconds");
+    m.queue_span = registry.histogram(TraceSpanMetricName("queue"));
+    m.step_span = registry.histogram(TraceSpanMetricName("step"));
+    return m;
+  }();
+  return metrics;
+}
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kAdvance: return "advance";
+    case RequestKind::kAnswer: return "answer";
+    case RequestKind::kGround: return "ground";
+    case RequestKind::kTerminate: return "terminate";
+  }
+  return "?";
+}
+
+}  // namespace
 
 RequestQueue::RequestQueue(SessionManager* manager,
                            const RequestQueueOptions& options)
@@ -27,10 +73,12 @@ Result<std::future<ServiceResponse>> RequestQueue::Submit(ServiceRequest request
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) {
     ++stats_.rejected;
+    Metrics().rejected->Increment();
     return Status::Unavailable("RequestQueue: shutting down");
   }
   if (queued_ >= options_.max_queue_depth) {
     ++stats_.rejected;
+    Metrics().rejected->Increment();
     return Status::Unavailable("RequestQueue: queue full (admission control)");
   }
   const SessionId session = request.session;
@@ -43,6 +91,7 @@ Result<std::future<ServiceResponse>> RequestQueue::Submit(ServiceRequest request
   backlog.push_back(std::move(pending));
   ++queued_;
   ++stats_.accepted;
+  Metrics().accepted->Increment();
   stats_.peak_depth = std::max(stats_.peak_depth, queued_);
   if (was_idle) {
     ready_.push_back(session);
@@ -84,6 +133,18 @@ void RequestQueue::WorkerLoop() {
         std::chrono::duration<double>(started - pending.enqueued).count();
     response.service_seconds =
         std::chrono::duration<double>(finished - started).count();
+    Metrics().wait_seconds->Record(response.wait_seconds);
+    Metrics().service_seconds->Record(response.service_seconds);
+    if (!pending.request.trace_id.empty()) {
+      Metrics().queue_span->Record(response.wait_seconds);
+      Metrics().step_span->Record(response.service_seconds);
+    }
+    if (response.service_seconds > SlowStepThresholdSeconds()) {
+      LogSlowStep(pending.request.trace_id, pending.request.session,
+                  RequestKindName(pending.request.kind), response.wait_seconds,
+                  response.service_seconds);
+    }
+    Metrics().completed->Increment();
     pending.promise.set_value(std::move(response));
     lock.lock();
 

@@ -34,6 +34,10 @@ struct ServiceRequest {
   RequestKind kind = RequestKind::kAdvance;
   SessionId session = 0;
   StepAnswers answers;  ///< kAnswer only
+  /// Propagated from the wire envelope (DESIGN.md §14). Non-empty makes the
+  /// worker record queue/step trace spans and tag the slow-step log line;
+  /// empty costs nothing.
+  std::string trace_id;
 };
 
 /// Union-style response; `status` says which half (if any) is meaningful.

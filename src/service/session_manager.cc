@@ -3,12 +3,53 @@
 #include <filesystem>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/checkpoint.h"
 
 namespace veritas {
 
+namespace {
+
+/// Registry handles, resolved once (DESIGN.md §14): lifecycle counters the
+/// wire `stats` response cannot carry (it is per-request; these are
+/// scrape-able over time) plus the resident-footprint gauge.
+struct ManagerMetrics {
+  MetricsRegistry::Counter* created;
+  MetricsRegistry::Counter* evictions;
+  MetricsRegistry::Counter* spill_restores;
+  MetricsRegistry::Counter* restores;
+  MetricsRegistry::Counter* terminates;
+  MetricsRegistry::Gauge* resident_bytes;
+};
+
+const ManagerMetrics& Metrics() {
+  static const ManagerMetrics metrics = [] {
+    MetricsRegistry& registry = GlobalMetrics();
+    ManagerMetrics m;
+    m.created = registry.counter("veritas_sessions_created_total");
+    m.evictions = registry.counter("veritas_session_evictions_total");
+    m.spill_restores = registry.counter("veritas_session_spill_restores_total");
+    m.restores = registry.counter("veritas_session_restores_total");
+    m.terminates = registry.counter("veritas_session_terminates_total");
+    m.resident_bytes = registry.gauge("veritas_resident_bytes");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
 SessionManager::SessionManager(const SessionManagerOptions& options)
     : options_(options) {}
+
+void SessionManager::AdjustResidentLocked(int64_t delta) {
+  resident_bytes_ = static_cast<size_t>(
+      static_cast<int64_t>(resident_bytes_) + delta);
+  if (resident_bytes_ > peak_resident_bytes_) {
+    peak_resident_bytes_ = resident_bytes_;
+  }
+  Metrics().resident_bytes->Set(static_cast<int64_t>(resident_bytes_));
+}
 
 SessionManager::~SessionManager() = default;
 
@@ -32,11 +73,19 @@ Result<SessionId> SessionManager::Create(FactDatabase db,
     entry.footprint = footprint;
     sessions_.emplace(id, std::move(entry));
     ++created_;
+    AdjustResidentLocked(static_cast<int64_t>(footprint));
   }
+  Metrics().created->Increment();
   const Status fitted = EnforceBudget(id);
   if (!fitted.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
-    sessions_.erase(id);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      // EnforceBudget never evicts the protected session, so it is still
+      // resident here.
+      AdjustResidentLocked(-static_cast<int64_t>(it->second.footprint));
+      sessions_.erase(it);
+    }
     return fitted;
   }
   return id;
@@ -62,6 +111,8 @@ Result<std::shared_ptr<Session>> SessionManager::Acquire(SessionId id) {
     entry.spill_path.clear();
     entry.footprint = entry.session->MemoryFootprintBytes();
     ++spill_restores_;
+    AdjustResidentLocked(static_cast<int64_t>(entry.footprint));
+    Metrics().spill_restores->Increment();
   }
   entry.last_touch = ++touch_clock_;
   ++entry.pins;
@@ -74,7 +125,13 @@ void SessionManager::Release(SessionId id, size_t footprint,
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;  // terminated concurrently
   if (it->second.pins > 0) --it->second.pins;
-  if (footprint > 0) it->second.footprint = footprint;
+  if (footprint > 0) {
+    if (it->second.session != nullptr) {
+      AdjustResidentLocked(static_cast<int64_t>(footprint) -
+                           static_cast<int64_t>(it->second.footprint));
+    }
+    it->second.footprint = footprint;
+  }
   if (steps_served > it->second.steps_served) {
     it->second.steps_served = steps_served;
   }
@@ -84,11 +141,10 @@ Status SessionManager::EnforceBudget(SessionId keep) {
   if (options_.memory_budget_bytes == 0) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   for (;;) {
-    size_t resident_bytes = 0;
-    for (const auto& [id, entry] : sessions_) {
-      if (entry.session != nullptr) resident_bytes += entry.footprint;
-    }
-    if (resident_bytes <= options_.memory_budget_bytes) return Status::OK();
+    // resident_bytes_ is maintained incrementally at every residency change
+    // (AdjustResidentLocked), so the budget check is O(1) per pass instead
+    // of an O(sessions) walk.
+    if (resident_bytes_ <= options_.memory_budget_bytes) return Status::OK();
 
     // Least-recently-used resident, unpinned, not the protected session.
     SessionId victim = 0;
@@ -121,6 +177,9 @@ Status SessionManager::EnforceBudget(SessionId keep) {
     entry.session.reset();
     entry.spill_path = path;
     ++evictions_;
+    spill_bytes_ += CheckpointSizeBytes(path);
+    AdjustResidentLocked(-static_cast<int64_t>(entry.footprint));
+    Metrics().evictions->Increment();
   }
 }
 
@@ -186,9 +245,13 @@ Result<ValidationOutcome> SessionManager::Terminate(SessionId id) {
     if (it != sessions_.end()) {
       // Finalize() itself is not a step; the entry's counter is current.
       steps_retired_ += it->second.steps_served - it->second.steps_baseline;
+      if (it->second.session != nullptr) {
+        AdjustResidentLocked(-static_cast<int64_t>(it->second.footprint));
+      }
       sessions_.erase(it);
     }
   }
+  Metrics().terminates->Increment();
   return outcome;
 }
 
@@ -226,13 +289,20 @@ Result<SessionId> SessionManager::Restore(const std::string& directory) {
     entry.footprint = footprint;
     sessions_.emplace(id, std::move(entry));
     ++created_;
+    AdjustResidentLocked(static_cast<int64_t>(footprint));
   }
+  Metrics().created->Increment();
+  Metrics().restores->Increment();
   const Status fitted = EnforceBudget(id);
   if (!fitted.ok()) {
     // Mirror Create(): admission failed, so the session must not linger in
     // the map consuming the very budget that rejected it.
     std::lock_guard<std::mutex> lock(mu_);
-    sessions_.erase(id);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      AdjustResidentLocked(-static_cast<int64_t>(it->second.footprint));
+      sessions_.erase(it);
+    }
     return fitted;
   }
   return id;
@@ -244,6 +314,8 @@ SessionManagerStats SessionManager::StatsLocked() const {
   stats.sessions_active = sessions_.size();
   stats.evictions = evictions_;
   stats.spill_restores = spill_restores_;
+  stats.spill_bytes = spill_bytes_;
+  stats.peak_resident_bytes = peak_resident_bytes_;
   stats.steps_served = steps_retired_;
   for (const auto& [id, entry] : sessions_) {
     stats.steps_served += entry.steps_served - entry.steps_baseline;

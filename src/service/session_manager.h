@@ -50,6 +50,12 @@ struct SessionManagerStats {
   /// Advance()/Answer() steps served across the manager's lifetime,
   /// including sessions that have since terminated.
   size_t steps_served = 0;
+  /// Checkpoint bytes written by LRU spills (manager lifetime total) — the
+  /// disk-side cost of the memory budget, invisible before DESIGN.md §14.
+  size_t spill_bytes = 0;
+  /// High-water mark of resident_bytes, observed at every admission/budget
+  /// pass; sizes the budget against actual peak demand.
+  size_t peak_resident_bytes = 0;
 };
 
 /// The per-manager snapshot name the wire API uses (api/wire.h).
@@ -155,6 +161,15 @@ class SessionManager {
   size_t created_ = 0;
   size_t evictions_ = 0;
   size_t spill_restores_ = 0;
+  size_t spill_bytes_ = 0;
+  size_t peak_resident_bytes_ = 0;
+  /// Running resident-footprint total, updated at every residency change
+  /// (create, spill, restore, release, terminate) so peak tracking and the
+  /// resident-bytes gauge are O(1) per step instead of an O(sessions) walk.
+  size_t resident_bytes_ = 0;
+  /// Requires mu_. Applies a residency delta and folds the new total into
+  /// the peak and the registry gauge.
+  void AdjustResidentLocked(int64_t delta);
   /// Requires mu_. Shared body of stats()/Snapshot().
   SessionManagerStats StatsLocked() const;
   /// Requires mu_. Shared body of ListSessions()/Snapshot().

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "testing/corpus_fixtures.h"
 
 namespace veritas {
@@ -584,6 +585,145 @@ TEST(CodecRejectionTest, UnknownMembersAreTolerated) {
   EXPECT_TRUE(DecodeStepResult(parsed.value(), &step).ok());
   EXPECT_TRUE(step.done);
   EXPECT_EQ(step.stop_reason, "ok");
+}
+
+TEST(CodecRoundTripTest, ServiceStatsEveryCounterSurvives) {
+  StatsResponse response;
+  response.stats.sessions_created = 11;
+  response.stats.sessions_active = 7;
+  response.stats.sessions_resident = 5;
+  response.stats.sessions_spilled = 2;
+  response.stats.evictions = 3;
+  response.stats.spill_restores = 1;
+  response.stats.resident_bytes = SIZE_MAX;
+  response.stats.steps_served = 99;
+  response.stats.spill_bytes = 1234567;
+  response.stats.peak_resident_bytes = SIZE_MAX - 1;
+  SessionInfo info;
+  info.id = 4;
+  info.resident = false;
+  info.steps_served = 12;
+  response.sessions.push_back(info);
+
+  ApiResponse envelope;
+  envelope.id = 21;
+  envelope.result = std::move(response);
+  auto text = EncodeResponse(envelope);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto back = DecodeResponse(text.value());
+  ASSERT_TRUE(back.ok()) << back.status();
+  const StatsResponse& decoded = std::get<StatsResponse>(back.value().result);
+  EXPECT_EQ(decoded.stats.sessions_created, 11u);
+  EXPECT_EQ(decoded.stats.evictions, 3u);
+  EXPECT_EQ(decoded.stats.spill_restores, 1u);
+  EXPECT_EQ(decoded.stats.resident_bytes, SIZE_MAX);
+  EXPECT_EQ(decoded.stats.spill_bytes, 1234567u);
+  EXPECT_EQ(decoded.stats.peak_resident_bytes, SIZE_MAX - 1);
+  auto again = EncodeResponse(back.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), text.value());
+
+  // Pre-§14 peers omit the new counters entirely: they decode to 0, not
+  // to an error (the missing-tolerant Get* contract).
+  auto legacy = DecodeResponse(
+      "{\"api_version\":1,\"id\":3,\"ok\":true,"
+      "\"result_type\":\"stats\",\"result\":"
+      "{\"stats\":{\"sessions_created\":2,\"steps_served\":8},"
+      "\"sessions\":[]}}");
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  const ServiceStats& legacy_stats =
+      std::get<StatsResponse>(legacy.value().result).stats;
+  EXPECT_EQ(legacy_stats.sessions_created, 2u);
+  EXPECT_EQ(legacy_stats.steps_served, 8u);
+  EXPECT_EQ(legacy_stats.spill_bytes, 0u);
+  EXPECT_EQ(legacy_stats.peak_resident_bytes, 0u);
+}
+
+TEST(CodecRoundTripTest, MetricsEnvelopeSurvives) {
+  // Request side: method "metrics" with an empty params object.
+  ApiRequest request;
+  request.id = 31;
+  request.params = MetricsRequest{};
+  auto text = EncodeRequest(request);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto back = DecodeRequest(text.value());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().method(), ApiMethod::kMetrics);
+
+  // Response side: a snapshot with every series kind, including a
+  // histogram whose +Inf bound must survive the JSON no-non-finite rule.
+  MetricsRegistry registry;
+  registry.counter("veritas_a_total")->Increment(5);
+  registry.counter(WithLabel("veritas_b_total", "kind", "x"))->Increment(2);
+  registry.gauge("veritas_level")->Set(-40);
+  registry.histogram("veritas_lat_seconds")->Record(1e-3);
+  registry.histogram("veritas_lat_seconds")->Record(1e9);  // overflow bucket
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  ApiResponse envelope;
+  envelope.id = 32;
+  envelope.result = MetricsResponse{snapshot};
+  auto response_text = EncodeResponse(envelope);
+  ASSERT_TRUE(response_text.ok()) << response_text.status();
+  auto response_back = DecodeResponse(response_text.value());
+  ASSERT_TRUE(response_back.ok()) << response_back.status();
+  const MetricsSnapshot& decoded =
+      std::get<MetricsResponse>(response_back.value().result).snapshot;
+  EXPECT_EQ(decoded.counters, snapshot.counters);
+  EXPECT_EQ(decoded.gauges, snapshot.gauges);
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  const HistogramSnapshot& h = decoded.histograms.at("veritas_lat_seconds");
+  const HistogramSnapshot& original =
+      snapshot.histograms.at("veritas_lat_seconds");
+  EXPECT_EQ(h.counts, original.counts);
+  EXPECT_EQ(h.count, original.count);
+  EXPECT_EQ(h.upper_bounds.size(), original.upper_bounds.size());
+  EXPECT_TRUE(std::isinf(h.upper_bounds.back()));
+  auto again = EncodeResponse(response_back.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), response_text.value());
+}
+
+TEST(CodecRoundTripTest, TraceIdOmittedWhenEmptyPreservedWhenSet) {
+  // Untraced: the member must be ABSENT, keeping the envelope
+  // byte-identical to the pre-tracing protocol.
+  ApiRequest untraced;
+  untraced.id = 5;
+  untraced.params = AdvanceRequest{3};
+  auto untraced_text = EncodeRequest(untraced);
+  ASSERT_TRUE(untraced_text.ok());
+  EXPECT_EQ(untraced_text.value().find("trace_id"), std::string::npos);
+  EXPECT_EQ(untraced_text.value(),
+            "{\"api_version\":1,\"id\":5,\"method\":\"advance\","
+            "\"params\":{\"session\":3}}");
+
+  ApiResponse untraced_response;
+  untraced_response.id = 5;
+  untraced_response.result = CheckpointResponse{};
+  auto untraced_response_text = EncodeResponse(untraced_response);
+  ASSERT_TRUE(untraced_response_text.ok());
+  EXPECT_EQ(untraced_response_text.value().find("trace_id"),
+            std::string::npos);
+
+  // Traced: the id survives both directions, fixed-point re-encode.
+  ApiRequest traced = untraced;
+  traced.trace_id = "req-\"quoted\"-\tid";
+  auto traced_text = EncodeRequest(traced);
+  ASSERT_TRUE(traced_text.ok());
+  auto traced_back = DecodeRequest(traced_text.value());
+  ASSERT_TRUE(traced_back.ok()) << traced_back.status();
+  EXPECT_EQ(traced_back.value().trace_id, traced.trace_id);
+  auto traced_again = EncodeRequest(traced_back.value());
+  ASSERT_TRUE(traced_again.ok());
+  EXPECT_EQ(traced_again.value(), traced_text.value());
+
+  ApiResponse traced_response = untraced_response;
+  traced_response.trace_id = "resp-1";
+  auto traced_response_text = EncodeResponse(traced_response);
+  ASSERT_TRUE(traced_response_text.ok());
+  auto response_back = DecodeResponse(traced_response_text.value());
+  ASSERT_TRUE(response_back.ok()) << response_back.status();
+  EXPECT_EQ(response_back.value().trace_id, "resp-1");
 }
 
 }  // namespace
