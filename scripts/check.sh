@@ -314,6 +314,11 @@ build_dir="${1:-build}"
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc)"
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+# Static analysis (veritas-lint + clang-tidy baseline) reusing the build
+# dir's compile_commands.json. Opt out with LINT=0.
+if [[ "${LINT:-1}" != "0" ]]; then
+  "$repo_root"/scripts/lint.sh "$build_dir"
+fi
 if [[ "${SMOKE:-}" != "0" ]]; then
   run_smoke "$build_dir"
   run_metrics_smoke "$build_dir"

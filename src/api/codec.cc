@@ -1139,7 +1139,9 @@ Result<std::string> EncodeRequest(const ApiRequest& request) {
   // Omitted entirely when empty: untraced envelopes stay byte-identical to
   // the pre-tracing protocol (the parity suites pin this).
   if (!request.trace_id.empty()) w.Key("trace_id").String(request.trace_id);
-  w.Key("method").String(ApiMethodName(request.method()));
+  // Dispatch key, not a defaultable enum field: DecodeRequest rejects a
+  // missing or unknown method by hand.
+  w.Key("method").String(ApiMethodName(request.method()));  // lint: enum-checked
   w.Key("params");
   std::visit(
       [&w](const auto& params) {
@@ -1282,11 +1284,14 @@ Result<std::string> EncodeResponse(const ApiResponse& response) {
     const ErrorResponse& error = std::get<ErrorResponse>(response.result);
     w.Key("error").BeginObject();
     w.Key("code").UInt(static_cast<uint64_t>(error.code));
-    w.Key("status").String(StatusCodeName(error.code));
+    // Display duplicate of the numeric "code", which DecodeResponse
+    // range-validates; the name is never read back.
+    w.Key("status").String(StatusCodeName(error.code));  // lint: enum-checked
     w.Key("message").String(error.message);
     w.EndObject();
   } else {
-    w.Key("result_type").String(ResultTypeName(response));
+    // Dispatch key: DecodeResponse rejects unknown result types by hand.
+    w.Key("result_type").String(ResultTypeName(response));  // lint: enum-checked
     w.Key("result");
     std::visit(
         [&w](const auto& result) {

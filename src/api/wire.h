@@ -49,35 +49,35 @@ const char* ApiMethodName(ApiMethod method);
 
 /// Opens a session: the full fact database travels with the request — the
 /// client owns its corpus; the service owns nothing between sessions.
-struct CreateSessionRequest {
+struct CreateSessionRequest {  // lint: wire-only
   FactDatabase db;
   SessionSpec spec;
 };
 
 /// One unit of service work (Session::Advance over the wire).
-struct AdvanceRequest {
+struct AdvanceRequest {  // lint: wire-only
   SessionId session = 0;
 };
 
 /// External verdicts for a pending plan (Session::Answer over the wire).
-struct AnswerRequest {
+struct AnswerRequest {  // lint: wire-only
   SessionId session = 0;
   StepAnswers answers;
 };
 
 /// Current grounding + posterior snapshot.
-struct GroundRequest {
+struct GroundRequest {  // lint: wire-only
   SessionId session = 0;
 };
 
 /// Persists the session to a server-side checkpoint directory.
-struct CheckpointRequest {
+struct CheckpointRequest {  // lint: wire-only
   SessionId session = 0;
   std::string directory;
 };
 
 /// Revives a server-side checkpoint as a new session.
-struct RestoreRequest {
+struct RestoreRequest {  // lint: wire-only
   std::string directory;
 };
 
@@ -85,7 +85,7 @@ struct RestoreRequest {
 struct StatsRequest {};
 
 /// Finalizes the session and returns its outcome.
-struct TerminateRequest {
+struct TerminateRequest {  // lint: wire-only
   SessionId session = 0;
 };
 
@@ -95,7 +95,7 @@ struct MetricsRequest {};
 
 /// A decoded request envelope. The active alternative of `params` IS the
 /// method; `method()` derives the enumerator from it.
-struct ApiRequest {
+struct ApiRequest {  // lint: wire-only
   uint32_t api_version = kApiVersion;
   /// Client-chosen correlation id, echoed verbatim in the response.
   uint64_t id = 0;
@@ -118,12 +118,12 @@ struct ApiRequest {
 /// The tagged error alternative: the Status a failed operation produced,
 /// flattened to its code + message. api/codec.h reconstitutes the exact
 /// Status on the client, so remote error handling matches in-process.
-struct ErrorResponse {
+struct ErrorResponse {  // lint: wire-only
   StatusCode code = StatusCode::kInternal;
   std::string message;
 };
 
-struct CreateSessionResponse {
+struct CreateSessionResponse {  // lint: wire-only
   SessionId session = 0;
 };
 
@@ -131,21 +131,21 @@ struct CreateSessionResponse {
 /// (IterationRecord and ArrivalStats are already flat scalar/vector
 /// structs). Lossless: the loopback integration test pins bit-identical
 /// IterationRecord traces against in-process Session calls.
-struct StepResponse {
+struct StepResponse {  // lint: wire-only
   StepResult step;
 };
 
-struct GroundResponse {
+struct GroundResponse {  // lint: wire-only
   GroundingView view;
 };
 
 struct CheckpointResponse {};
 
-struct RestoreResponse {
+struct RestoreResponse {  // lint: wire-only
   SessionId session = 0;
 };
 
-struct StatsResponse {
+struct StatsResponse {  // lint: wire-only
   ServiceStats stats;
   std::vector<SessionInfo> sessions;
 };
@@ -153,20 +153,20 @@ struct StatsResponse {
 /// Terminate result: the finalized ValidationOutcome (posterior, grounding,
 /// per-iteration trace and counters), so a wire client needs no session
 /// bookkeeping of its own to recover the complete run.
-struct TerminateResponse {
+struct TerminateResponse {  // lint: wire-only
   ValidationOutcome outcome;
 };
 
 /// The registry snapshot of the serving process — or, through a router,
 /// the bucketwise merge across every live backend plus the router's own
 /// registry (its router-stage trace spans live there).
-struct MetricsResponse {
+struct MetricsResponse {  // lint: wire-only
   MetricsSnapshot snapshot;
 };
 
 /// A decoded response envelope. ErrorResponse is the first alternative:
 /// IsError() is an index check.
-struct ApiResponse {
+struct ApiResponse {  // lint: wire-only
   uint32_t api_version = kApiVersion;
   uint64_t id = 0;  ///< echoes the request id
   /// Echo of the request's trace_id (empty = untraced, omitted on the

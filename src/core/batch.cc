@@ -29,7 +29,13 @@ ClaimCorrelation::ClaimCorrelation(const ICrf& icrf,
     }
   }
   if (max_count <= 0.0) return;
-  for (const auto& [key, count] : counts) {
+  // Build the neighbor lists in (a, b) key order, not hash order: the
+  // lists fix the FP accumulation order of the importance weights and the
+  // greedy delta updates, which must not depend on the stdlib's hash.
+  std::vector<std::pair<uint64_t, double>> ordered(counts.begin(), counts.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (const auto& [key, count] : ordered) {
     const ClaimId a = static_cast<ClaimId>(key / key_stride_);
     const ClaimId b = static_cast<ClaimId>(key % key_stride_);
     const double normalized = count / max_count;

@@ -134,11 +134,11 @@ Result<InferenceStats> ICrf::Infer(BeliefState* state) {
       // default runs would diverge.
       sopts.draw_seed = rng_.NextU64();
     }
-    const auto sweep_started = std::chrono::steady_clock::now();
+    const auto sweep_started = std::chrono::steady_clock::now();  // lint: timing
     auto result = solver.Marginals(mrf_, *state, sopts);
     backend_metrics.sweep_seconds->Record(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      sweep_started)
+        std::chrono::duration<double>(  // lint: timing
+            std::chrono::steady_clock::now() - sweep_started)
             .count());
     if (!result.ok()) return result.status();
     last_samples_ = std::move(result.value().samples);

@@ -112,18 +112,25 @@ std::vector<ClaimMrf::Edge> BuildSourceCouplings(const FactDatabase& db,
     }
   }
 
+  // Emit in (a, b) key order, not hash order: the edge sequence fixes the
+  // CSR neighbor order and the FP summation order downstream, so it must
+  // not depend on which standard library hashed the accumulator.
+  std::vector<std::pair<uint64_t, double>> ordered(merged.begin(), merged.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
   // Degree normalization: cap the total |J| mass incident to any claim at
   // config.coupling. Without this, popular claims (many shared sources)
   // accumulate coupling fields that drown the feature evidence and create a
   // ferromagnetic phase whose arbitrary basin locks in wrong groundings.
   std::vector<double> mass(db.num_claims(), 0.0);
-  for (const auto& [key, j] : merged) {
+  for (const auto& [key, j] : ordered) {
     mass[key / n] += std::fabs(j);
     mass[key % n] += std::fabs(j);
   }
   std::vector<ClaimMrf::Edge> edges;
-  edges.reserve(merged.size());
-  for (const auto& [key, j] : merged) {
+  edges.reserve(ordered.size());
+  for (const auto& [key, j] : ordered) {
     if (j == 0.0) continue;
     const ClaimId a = static_cast<ClaimId>(key / n);
     const ClaimId b = static_cast<ClaimId>(key % n);

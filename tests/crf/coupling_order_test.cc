@@ -1,0 +1,61 @@
+/// Regression tests for the deterministic coupling-edge order: the
+/// BuildSourceCouplings accumulator is an unordered_map, and until the
+/// sort-before-emit fix its hash order fixed the CSR neighbor order and
+/// the FP summation order of the degree normalization — deterministic
+/// within one binary, but silently dependent on the standard library's
+/// hash. The emitted order is now pinned to ascending (a, b).
+
+#include "crf/model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus_fixtures.h"
+
+namespace veritas {
+namespace {
+
+TEST(CouplingOrderTest, EdgesAscendByClaimPair) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(101, 24);
+  const auto edges = BuildSourceCouplings(corpus.db, CrfConfig());
+  ASSERT_FALSE(edges.empty());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i].a, edges[i].b) << "edge " << i;
+    if (i > 0) {
+      const bool ascending =
+          edges[i - 1].a < edges[i].a ||
+          (edges[i - 1].a == edges[i].a && edges[i - 1].b < edges[i].b);
+      EXPECT_TRUE(ascending) << "edges " << i - 1 << " and " << i
+                             << " out of (a, b) order";
+    }
+  }
+}
+
+TEST(CouplingOrderTest, RebuildIsBitIdentical) {
+  const EmulatedCorpus corpus = testing::MakeTinyCorpus(55, 32);
+  const CrfConfig config;
+  const auto first = BuildSourceCouplings(corpus.db, config);
+  const auto second = BuildSourceCouplings(corpus.db, config);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].a, second[i].a);
+    EXPECT_EQ(first[i].b, second[i].b);
+    EXPECT_EQ(first[i].j, second[i].j);  // bitwise, not approximate
+  }
+}
+
+TEST(CouplingOrderTest, HandDatabaseOrderPinned) {
+  // The hand corpus is small enough to pin the full sequence: whatever
+  // stdlib hashes the accumulator, the emitted pairs must come out in
+  // ascending (a, b) and never change across builds.
+  const FactDatabase db = testing::MakeHandDatabase();
+  const auto edges = BuildSourceCouplings(db, CrfConfig());
+  for (size_t i = 1; i < edges.size(); ++i) {
+    const bool ascending =
+        edges[i - 1].a < edges[i].a ||
+        (edges[i - 1].a == edges[i].a && edges[i - 1].b < edges[i].b);
+    EXPECT_TRUE(ascending);
+  }
+}
+
+}  // namespace
+}  // namespace veritas

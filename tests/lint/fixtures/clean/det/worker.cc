@@ -1,0 +1,19 @@
+// Clean determinism fixture, never compiled: the clock read is annotated
+// timing-only and the unordered iteration declares that its order cannot
+// escape (it feeds a commutative integer count).
+
+#include <chrono>
+#include <unordered_set>
+
+double MeasuredSeconds() {
+  const auto started = std::chrono::steady_clock::now();  // lint: timing
+  const auto ended = std::chrono::steady_clock::now();  // lint: timing
+  return std::chrono::duration<double>(ended - started).count();
+}
+
+int CountLarge(const std::unordered_set<int>& values) {
+  int count = 0;
+  // lint: unordered-ok
+  for (const int v : values) count += v > 10 ? 1 : 0;
+  return count;
+}

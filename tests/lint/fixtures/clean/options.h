@@ -1,0 +1,15 @@
+// Clean fixture, never compiled: gamma is fully serialized, cache is a
+// declared runtime-only exclusion.
+
+enum class Shade : unsigned char {
+  kLight = 0,
+  kDark = 1,
+};
+
+const char* ShadeName(Shade shade);
+
+struct DemoOptions {
+  int gamma = 0;
+  Shade shade = Shade::kLight;
+  int cache = 0;  // lint: ephemeral
+};

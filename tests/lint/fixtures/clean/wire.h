@@ -1,0 +1,5 @@
+// Clean fixture, never compiled: every member is covered or annotated.
+
+struct DemoMessage {  // lint: wire-only
+  int alpha = 0;
+};

@@ -1,0 +1,10 @@
+// Known-bad fixture, never compiled: checkpoints DemoOptions::gamma only.
+
+void WriteDemoOptions(std::string* out, const DemoOptions& options) {
+  AppendU64(out, options.gamma);
+}
+
+Status ReadDemoOptions(Cursor* cursor, DemoOptions* out) {
+  ReadU64(cursor, &out->gamma);
+  return Status::OK();
+}

@@ -1,0 +1,22 @@
+// Known-bad fixture, never compiled: covers DemoMessage fully and
+// DemoOptions::gamma only — delta is missing from both directions.
+
+void EncodeDemoMessage(JsonWriter* w, const DemoMessage& message) {
+  w->Key("alpha").UInt(message.alpha);
+  w->Key("beta").UInt(message.beta);
+}
+
+Status DecodeDemoMessage(const JsonValue& value, DemoMessage* out) {
+  GetU64(value, "alpha", &out->alpha);
+  GetU64(value, "beta", &out->beta);
+  return Status::OK();
+}
+
+void EncodeDemoOptions(JsonWriter* w, const DemoOptions& options) {
+  w->Key("gamma").UInt(options.gamma);
+}
+
+Status DecodeDemoOptions(const JsonValue& value, DemoOptions* out) {
+  GetU64(value, "gamma", &out->gamma);
+  return Status::OK();
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture, never compiled: DemoOptions::delta is serialized
+// nowhere — veritas-lint must flag all four missing paths.
+
+struct DemoOptions {
+  int gamma = 0;
+  int delta = 0;
+};

@@ -1,0 +1,7 @@
+// Known-bad field-coverage fixture, never compiled: the message struct is
+// fully covered, but DemoOptions (see options.h) drops a field.
+
+struct DemoMessage {  // lint: wire-only
+  int alpha = 0;
+  int beta = 0;
+};

@@ -1,0 +1,1 @@
+// Empty checkpoint side of the wire-compat fixture, never compiled.

@@ -1,0 +1,21 @@
+// Known-bad wire-compat fixture, never compiled. Three violations:
+//   1. ParseColor silently accepts unknown spellings.
+//   2. The "color" key is enum-encoded but never decoded through GetEnum.
+//   3. DecodeThing casts a raw integer to Color without a range check.
+
+Status ParseColor(const std::string& name, Color* out) {
+  if (name == "red") *out = Color::kRed;
+  if (name == "blue") *out = Color::kBlue;
+  return Status::OK();
+}
+
+void EncodeThing(JsonWriter* w, const Thing& thing) {
+  w->Key("color").String(ColorName(thing.color));
+}
+
+Status DecodeThing(const JsonValue& value, Thing* out) {
+  uint64_t raw = 0;
+  GetU64(value, "shade", &raw);
+  out->shade = static_cast<Color>(raw);
+  return Status::OK();
+}

@@ -1,0 +1,8 @@
+// Fixture enum inventory, never compiled.
+
+enum class Color : unsigned char {
+  kRed = 0,
+  kBlue = 1,
+};
+
+const char* ColorName(Color color);

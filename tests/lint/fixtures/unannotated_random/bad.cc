@@ -1,0 +1,9 @@
+// Known-bad determinism fixture, never compiled: ambient entropy with no
+// annotation — veritas-lint must flag it.
+
+#include <random>
+
+unsigned SeedFromEntropy() {
+  std::random_device entropy;
+  return entropy();
+}

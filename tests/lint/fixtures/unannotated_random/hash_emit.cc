@@ -1,0 +1,11 @@
+// Known-bad determinism fixture, never compiled: emits hash order into a
+// returned vector without sorting or an annotation.
+
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> Keys(const std::unordered_map<int, int>& table) {
+  std::vector<int> out;
+  for (const auto& entry : table) out.push_back(entry.first);
+  return out;
+}

@@ -1,0 +1,14 @@
+// Known-bad determinism fixture, never compiled: an un-annotated wall
+// clock read next to a properly annotated one.
+
+#include <chrono>
+
+double Bad() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double Good() {
+  const auto now = std::chrono::steady_clock::now();  // lint: timing
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
