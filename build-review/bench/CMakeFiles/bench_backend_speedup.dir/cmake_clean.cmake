@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_speedup.dir/bench_backend_speedup.cc.o"
+  "CMakeFiles/bench_backend_speedup.dir/bench_backend_speedup.cc.o.d"
+  "bench_backend_speedup"
+  "bench_backend_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

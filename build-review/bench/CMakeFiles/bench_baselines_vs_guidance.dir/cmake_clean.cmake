@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_vs_guidance.dir/bench_baselines_vs_guidance.cc.o"
+  "CMakeFiles/bench_baselines_vs_guidance.dir/bench_baselines_vs_guidance.cc.o.d"
+  "bench_baselines_vs_guidance"
+  "bench_baselines_vs_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_vs_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_baselines_vs_guidance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_time_vs_effort.dir/bench_fig03_time_vs_effort.cc.o"
+  "CMakeFiles/bench_fig03_time_vs_effort.dir/bench_fig03_time_vs_effort.cc.o.d"
+  "bench_fig03_time_vs_effort"
+  "bench_fig03_time_vs_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_time_vs_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

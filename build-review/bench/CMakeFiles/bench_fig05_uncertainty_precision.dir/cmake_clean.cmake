@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_uncertainty_precision.dir/bench_fig05_uncertainty_precision.cc.o"
+  "CMakeFiles/bench_fig05_uncertainty_precision.dir/bench_fig05_uncertainty_precision.cc.o.d"
+  "bench_fig05_uncertainty_precision"
+  "bench_fig05_uncertainty_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_uncertainty_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_erroneous_input.dir/bench_fig07_erroneous_input.cc.o"
+  "CMakeFiles/bench_fig07_erroneous_input.dir/bench_fig07_erroneous_input.cc.o.d"
+  "bench_fig07_erroneous_input"
+  "bench_fig07_erroneous_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_erroneous_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

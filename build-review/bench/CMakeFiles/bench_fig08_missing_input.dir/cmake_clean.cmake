@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_missing_input.dir/bench_fig08_missing_input.cc.o"
+  "CMakeFiles/bench_fig08_missing_input.dir/bench_fig08_missing_input.cc.o.d"
+  "bench_fig08_missing_input"
+  "bench_fig08_missing_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_missing_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_early_termination.dir/bench_fig09_early_termination.cc.o"
+  "CMakeFiles/bench_fig09_early_termination.dir/bench_fig09_early_termination.cc.o.d"
+  "bench_fig09_early_termination"
+  "bench_fig09_early_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_early_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

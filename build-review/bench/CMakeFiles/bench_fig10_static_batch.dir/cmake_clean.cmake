@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_static_batch.dir/bench_fig10_static_batch.cc.o"
+  "CMakeFiles/bench_fig10_static_batch.dir/bench_fig10_static_batch.cc.o.d"
+  "bench_fig10_static_batch"
+  "bench_fig10_static_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_static_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

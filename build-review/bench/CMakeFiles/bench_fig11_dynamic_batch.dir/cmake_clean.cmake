@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dynamic_batch.dir/bench_fig11_dynamic_batch.cc.o"
+  "CMakeFiles/bench_fig11_dynamic_batch.dir/bench_fig11_dynamic_batch.cc.o.d"
+  "bench_fig11_dynamic_batch"
+  "bench_fig11_dynamic_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dynamic_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_speedup.dir/bench_kernel_speedup.cc.o"
+  "CMakeFiles/bench_kernel_speedup.dir/bench_kernel_speedup.cc.o.d"
+  "bench_kernel_speedup"
+  "bench_kernel_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

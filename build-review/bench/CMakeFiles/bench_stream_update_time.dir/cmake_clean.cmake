@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_update_time.dir/bench_stream_update_time.cc.o"
+  "CMakeFiles/bench_stream_update_time.dir/bench_stream_update_time.cc.o.d"
+  "bench_stream_update_time"
+  "bench_stream_update_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_update_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_stream_preservation.dir/bench_table2_stream_preservation.cc.o"
+  "CMakeFiles/bench_table2_stream_preservation.dir/bench_table2_stream_preservation.cc.o.d"
+  "bench_table2_stream_preservation"
+  "bench_table2_stream_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stream_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

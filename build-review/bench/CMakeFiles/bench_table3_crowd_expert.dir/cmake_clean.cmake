@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_crowd_expert.dir/bench_table3_crowd_expert.cc.o"
+  "CMakeFiles/bench_table3_crowd_expert.dir/bench_table3_crowd_expert.cc.o.d"
+  "bench_table3_crowd_expert"
+  "bench_table3_crowd_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_crowd_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

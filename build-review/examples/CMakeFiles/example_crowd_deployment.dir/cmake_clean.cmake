@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crowd_deployment.dir/crowd_deployment.cpp.o"
+  "CMakeFiles/example_crowd_deployment.dir/crowd_deployment.cpp.o.d"
+  "example_crowd_deployment"
+  "example_crowd_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crowd_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_healthcare_triage.dir/healthcare_triage.cpp.o"
+  "CMakeFiles/example_healthcare_triage.dir/healthcare_triage.cpp.o.d"
+  "example_healthcare_triage"
+  "example_healthcare_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_healthcare_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

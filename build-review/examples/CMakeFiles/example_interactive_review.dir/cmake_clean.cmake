@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interactive_review.dir/interactive_review.cpp.o"
+  "CMakeFiles/example_interactive_review.dir/interactive_review.cpp.o.d"
+  "example_interactive_review"
+  "example_interactive_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interactive_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_newsroom_stream.dir/newsroom_stream.cpp.o"
+  "CMakeFiles/example_newsroom_stream.dir/newsroom_stream.cpp.o.d"
+  "example_newsroom_stream"
+  "example_newsroom_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_newsroom_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_service_demo.dir/service_demo.cpp.o"
+  "CMakeFiles/example_service_demo.dir/service_demo.cpp.o.d"
+  "example_service_demo"
+  "example_service_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_service_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

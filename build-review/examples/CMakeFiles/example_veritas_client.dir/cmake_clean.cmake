@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_veritas_client.dir/veritas_client.cpp.o"
+  "CMakeFiles/example_veritas_client.dir/veritas_client.cpp.o.d"
+  "example_veritas_client"
+  "example_veritas_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_veritas_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_veritas_router.dir/veritas_router.cpp.o"
+  "CMakeFiles/example_veritas_router.dir/veritas_router.cpp.o.d"
+  "example_veritas_router"
+  "example_veritas_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_veritas_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

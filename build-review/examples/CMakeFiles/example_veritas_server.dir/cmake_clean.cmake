@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_veritas_server.dir/veritas_server.cpp.o"
+  "CMakeFiles/example_veritas_server.dir/veritas_server.cpp.o.d"
+  "example_veritas_server"
+  "example_veritas_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_veritas_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

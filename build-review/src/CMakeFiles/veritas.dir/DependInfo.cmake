@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/client.cc" "src/CMakeFiles/veritas.dir/api/client.cc.o" "gcc" "src/CMakeFiles/veritas.dir/api/client.cc.o.d"
+  "/root/repo/src/api/codec.cc" "src/CMakeFiles/veritas.dir/api/codec.cc.o" "gcc" "src/CMakeFiles/veritas.dir/api/codec.cc.o.d"
+  "/root/repo/src/api/event_server.cc" "src/CMakeFiles/veritas.dir/api/event_server.cc.o" "gcc" "src/CMakeFiles/veritas.dir/api/event_server.cc.o.d"
+  "/root/repo/src/api/json.cc" "src/CMakeFiles/veritas.dir/api/json.cc.o" "gcc" "src/CMakeFiles/veritas.dir/api/json.cc.o.d"
+  "/root/repo/src/api/server.cc" "src/CMakeFiles/veritas.dir/api/server.cc.o" "gcc" "src/CMakeFiles/veritas.dir/api/server.cc.o.d"
+  "/root/repo/src/api/service.cc" "src/CMakeFiles/veritas.dir/api/service.cc.o" "gcc" "src/CMakeFiles/veritas.dir/api/service.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/veritas.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math.cc" "src/CMakeFiles/veritas.dir/common/math.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/math.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/veritas.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/socket.cc" "src/CMakeFiles/veritas.dir/common/socket.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/socket.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/veritas.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/veritas.dir/common/status.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/veritas.dir/common/table.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/veritas.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/veritas.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/CMakeFiles/veritas.dir/core/batch.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/batch.cc.o.d"
+  "/root/repo/src/core/confirmation.cc" "src/CMakeFiles/veritas.dir/core/confirmation.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/confirmation.cc.o.d"
+  "/root/repo/src/core/grounding.cc" "src/CMakeFiles/veritas.dir/core/grounding.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/grounding.cc.o.d"
+  "/root/repo/src/core/icrf.cc" "src/CMakeFiles/veritas.dir/core/icrf.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/icrf.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/veritas.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/strategy.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/CMakeFiles/veritas.dir/core/streaming.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/streaming.cc.o.d"
+  "/root/repo/src/core/termination.cc" "src/CMakeFiles/veritas.dir/core/termination.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/termination.cc.o.d"
+  "/root/repo/src/core/user_model.cc" "src/CMakeFiles/veritas.dir/core/user_model.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/user_model.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/CMakeFiles/veritas.dir/core/validation.cc.o" "gcc" "src/CMakeFiles/veritas.dir/core/validation.cc.o.d"
+  "/root/repo/src/crf/chromatic.cc" "src/CMakeFiles/veritas.dir/crf/chromatic.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/chromatic.cc.o.d"
+  "/root/repo/src/crf/entropy.cc" "src/CMakeFiles/veritas.dir/crf/entropy.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/entropy.cc.o.d"
+  "/root/repo/src/crf/gibbs.cc" "src/CMakeFiles/veritas.dir/crf/gibbs.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/gibbs.cc.o.d"
+  "/root/repo/src/crf/hypothetical.cc" "src/CMakeFiles/veritas.dir/crf/hypothetical.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/hypothetical.cc.o.d"
+  "/root/repo/src/crf/model.cc" "src/CMakeFiles/veritas.dir/crf/model.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/model.cc.o.d"
+  "/root/repo/src/crf/mrf.cc" "src/CMakeFiles/veritas.dir/crf/mrf.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/mrf.cc.o.d"
+  "/root/repo/src/crf/partition.cc" "src/CMakeFiles/veritas.dir/crf/partition.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/partition.cc.o.d"
+  "/root/repo/src/crf/solver.cc" "src/CMakeFiles/veritas.dir/crf/solver.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crf/solver.cc.o.d"
+  "/root/repo/src/crowd/aggregation.cc" "src/CMakeFiles/veritas.dir/crowd/aggregation.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crowd/aggregation.cc.o.d"
+  "/root/repo/src/crowd/worker.cc" "src/CMakeFiles/veritas.dir/crowd/worker.cc.o" "gcc" "src/CMakeFiles/veritas.dir/crowd/worker.cc.o.d"
+  "/root/repo/src/data/emulator.cc" "src/CMakeFiles/veritas.dir/data/emulator.cc.o" "gcc" "src/CMakeFiles/veritas.dir/data/emulator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/veritas.dir/data/io.cc.o" "gcc" "src/CMakeFiles/veritas.dir/data/io.cc.o.d"
+  "/root/repo/src/data/model.cc" "src/CMakeFiles/veritas.dir/data/model.cc.o" "gcc" "src/CMakeFiles/veritas.dir/data/model.cc.o.d"
+  "/root/repo/src/fleet/hash_ring.cc" "src/CMakeFiles/veritas.dir/fleet/hash_ring.cc.o" "gcc" "src/CMakeFiles/veritas.dir/fleet/hash_ring.cc.o.d"
+  "/root/repo/src/fleet/router.cc" "src/CMakeFiles/veritas.dir/fleet/router.cc.o" "gcc" "src/CMakeFiles/veritas.dir/fleet/router.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/veritas.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/veritas.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/coloring.cc" "src/CMakeFiles/veritas.dir/graph/coloring.cc.o" "gcc" "src/CMakeFiles/veritas.dir/graph/coloring.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/veritas.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/veritas.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/veritas.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/veritas.dir/graph/graph.cc.o.d"
+  "/root/repo/src/obs/exposition.cc" "src/CMakeFiles/veritas.dir/obs/exposition.cc.o" "gcc" "src/CMakeFiles/veritas.dir/obs/exposition.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/veritas.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/veritas.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/veritas.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/veritas.dir/obs/trace.cc.o.d"
+  "/root/repo/src/optim/logistic.cc" "src/CMakeFiles/veritas.dir/optim/logistic.cc.o" "gcc" "src/CMakeFiles/veritas.dir/optim/logistic.cc.o.d"
+  "/root/repo/src/optim/objective.cc" "src/CMakeFiles/veritas.dir/optim/objective.cc.o" "gcc" "src/CMakeFiles/veritas.dir/optim/objective.cc.o.d"
+  "/root/repo/src/optim/online_em.cc" "src/CMakeFiles/veritas.dir/optim/online_em.cc.o" "gcc" "src/CMakeFiles/veritas.dir/optim/online_em.cc.o.d"
+  "/root/repo/src/optim/tron.cc" "src/CMakeFiles/veritas.dir/optim/tron.cc.o" "gcc" "src/CMakeFiles/veritas.dir/optim/tron.cc.o.d"
+  "/root/repo/src/service/checkpoint.cc" "src/CMakeFiles/veritas.dir/service/checkpoint.cc.o" "gcc" "src/CMakeFiles/veritas.dir/service/checkpoint.cc.o.d"
+  "/root/repo/src/service/request_queue.cc" "src/CMakeFiles/veritas.dir/service/request_queue.cc.o" "gcc" "src/CMakeFiles/veritas.dir/service/request_queue.cc.o.d"
+  "/root/repo/src/service/session.cc" "src/CMakeFiles/veritas.dir/service/session.cc.o" "gcc" "src/CMakeFiles/veritas.dir/service/session.cc.o.d"
+  "/root/repo/src/service/session_manager.cc" "src/CMakeFiles/veritas.dir/service/session_manager.cc.o" "gcc" "src/CMakeFiles/veritas.dir/service/session_manager.cc.o.d"
+  "/root/repo/src/text/language_model.cc" "src/CMakeFiles/veritas.dir/text/language_model.cc.o" "gcc" "src/CMakeFiles/veritas.dir/text/language_model.cc.o.d"
+  "/root/repo/src/text/lexicons.cc" "src/CMakeFiles/veritas.dir/text/lexicons.cc.o" "gcc" "src/CMakeFiles/veritas.dir/text/lexicons.cc.o.d"
+  "/root/repo/src/text/synthesis.cc" "src/CMakeFiles/veritas.dir/text/synthesis.cc.o" "gcc" "src/CMakeFiles/veritas.dir/text/synthesis.cc.o.d"
+  "/root/repo/src/truthfinder/baselines.cc" "src/CMakeFiles/veritas.dir/truthfinder/baselines.cc.o" "gcc" "src/CMakeFiles/veritas.dir/truthfinder/baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

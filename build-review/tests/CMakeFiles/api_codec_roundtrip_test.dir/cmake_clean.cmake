@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_codec_roundtrip_test.dir/api/codec_roundtrip_test.cc.o"
+  "CMakeFiles/api_codec_roundtrip_test.dir/api/codec_roundtrip_test.cc.o.d"
+  "api_codec_roundtrip_test"
+  "api_codec_roundtrip_test.pdb"
+  "api_codec_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_codec_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_event_server_test.dir/api/event_server_test.cc.o"
+  "CMakeFiles/api_event_server_test.dir/api/event_server_test.cc.o.d"
+  "api_event_server_test"
+  "api_event_server_test.pdb"
+  "api_event_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_event_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_json_test.dir/api/json_test.cc.o"
+  "CMakeFiles/api_json_test.dir/api/json_test.cc.o.d"
+  "api_json_test"
+  "api_json_test.pdb"
+  "api_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

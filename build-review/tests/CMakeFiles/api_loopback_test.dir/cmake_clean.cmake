@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_loopback_test.dir/api/loopback_test.cc.o"
+  "CMakeFiles/api_loopback_test.dir/api/loopback_test.cc.o.d"
+  "api_loopback_test"
+  "api_loopback_test.pdb"
+  "api_loopback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_loopback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_socket_test.dir/common/socket_test.cc.o"
+  "CMakeFiles/common_socket_test.dir/common/socket_test.cc.o.d"
+  "common_socket_test"
+  "common_socket_test.pdb"
+  "common_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

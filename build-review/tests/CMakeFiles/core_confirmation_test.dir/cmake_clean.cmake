@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_confirmation_test.dir/core/confirmation_test.cc.o"
+  "CMakeFiles/core_confirmation_test.dir/core/confirmation_test.cc.o.d"
+  "core_confirmation_test"
+  "core_confirmation_test.pdb"
+  "core_confirmation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_confirmation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

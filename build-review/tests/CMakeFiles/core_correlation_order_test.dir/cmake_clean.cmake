@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_correlation_order_test.dir/core/correlation_order_test.cc.o"
+  "CMakeFiles/core_correlation_order_test.dir/core/correlation_order_test.cc.o.d"
+  "core_correlation_order_test"
+  "core_correlation_order_test.pdb"
+  "core_correlation_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_correlation_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

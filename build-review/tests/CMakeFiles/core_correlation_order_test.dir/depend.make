@@ -1,0 +1,2 @@
+# Empty dependencies file for core_correlation_order_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_grounding_test.dir/core/grounding_test.cc.o"
+  "CMakeFiles/core_grounding_test.dir/core/grounding_test.cc.o.d"
+  "core_grounding_test"
+  "core_grounding_test.pdb"
+  "core_grounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_grounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_icrf_test.dir/core/icrf_test.cc.o"
+  "CMakeFiles/core_icrf_test.dir/core/icrf_test.cc.o.d"
+  "core_icrf_test"
+  "core_icrf_test.pdb"
+  "core_icrf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_icrf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

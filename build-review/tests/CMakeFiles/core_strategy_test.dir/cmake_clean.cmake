@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_strategy_test.dir/core/strategy_test.cc.o"
+  "CMakeFiles/core_strategy_test.dir/core/strategy_test.cc.o.d"
+  "core_strategy_test"
+  "core_strategy_test.pdb"
+  "core_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_streaming_test.dir/core/streaming_test.cc.o"
+  "CMakeFiles/core_streaming_test.dir/core/streaming_test.cc.o.d"
+  "core_streaming_test"
+  "core_streaming_test.pdb"
+  "core_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_termination_test.dir/core/termination_test.cc.o"
+  "CMakeFiles/core_termination_test.dir/core/termination_test.cc.o.d"
+  "core_termination_test"
+  "core_termination_test.pdb"
+  "core_termination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_termination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

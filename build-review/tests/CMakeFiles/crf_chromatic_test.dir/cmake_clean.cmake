@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_chromatic_test.dir/crf/chromatic_test.cc.o"
+  "CMakeFiles/crf_chromatic_test.dir/crf/chromatic_test.cc.o.d"
+  "crf_chromatic_test"
+  "crf_chromatic_test.pdb"
+  "crf_chromatic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_chromatic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_coupling_order_test.dir/crf/coupling_order_test.cc.o"
+  "CMakeFiles/crf_coupling_order_test.dir/crf/coupling_order_test.cc.o.d"
+  "crf_coupling_order_test"
+  "crf_coupling_order_test.pdb"
+  "crf_coupling_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_coupling_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

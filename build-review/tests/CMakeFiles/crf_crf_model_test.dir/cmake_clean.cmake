@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_crf_model_test.dir/crf/crf_model_test.cc.o"
+  "CMakeFiles/crf_crf_model_test.dir/crf/crf_model_test.cc.o.d"
+  "crf_crf_model_test"
+  "crf_crf_model_test.pdb"
+  "crf_crf_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_crf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_entropy_test.dir/crf/entropy_test.cc.o"
+  "CMakeFiles/crf_entropy_test.dir/crf/entropy_test.cc.o.d"
+  "crf_entropy_test"
+  "crf_entropy_test.pdb"
+  "crf_entropy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

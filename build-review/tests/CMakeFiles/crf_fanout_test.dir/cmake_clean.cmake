@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_fanout_test.dir/crf/fanout_test.cc.o"
+  "CMakeFiles/crf_fanout_test.dir/crf/fanout_test.cc.o.d"
+  "crf_fanout_test"
+  "crf_fanout_test.pdb"
+  "crf_fanout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_fanout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_gibbs_test.dir/crf/gibbs_test.cc.o"
+  "CMakeFiles/crf_gibbs_test.dir/crf/gibbs_test.cc.o.d"
+  "crf_gibbs_test"
+  "crf_gibbs_test.pdb"
+  "crf_gibbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_gibbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

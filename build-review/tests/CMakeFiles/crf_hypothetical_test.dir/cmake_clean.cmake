@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_hypothetical_test.dir/crf/hypothetical_test.cc.o"
+  "CMakeFiles/crf_hypothetical_test.dir/crf/hypothetical_test.cc.o.d"
+  "crf_hypothetical_test"
+  "crf_hypothetical_test.pdb"
+  "crf_hypothetical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_hypothetical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

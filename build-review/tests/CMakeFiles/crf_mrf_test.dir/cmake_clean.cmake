@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_mrf_test.dir/crf/mrf_test.cc.o"
+  "CMakeFiles/crf_mrf_test.dir/crf/mrf_test.cc.o.d"
+  "crf_mrf_test"
+  "crf_mrf_test.pdb"
+  "crf_mrf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_mrf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_partition_test.dir/crf/partition_test.cc.o"
+  "CMakeFiles/crf_partition_test.dir/crf/partition_test.cc.o.d"
+  "crf_partition_test"
+  "crf_partition_test.pdb"
+  "crf_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_solver_test.dir/crf/solver_test.cc.o"
+  "CMakeFiles/crf_solver_test.dir/crf/solver_test.cc.o.d"
+  "crf_solver_test"
+  "crf_solver_test.pdb"
+  "crf_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_aggregation_test.dir/crowd/aggregation_test.cc.o"
+  "CMakeFiles/crowd_aggregation_test.dir/crowd/aggregation_test.cc.o.d"
+  "crowd_aggregation_test"
+  "crowd_aggregation_test.pdb"
+  "crowd_aggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_worker_test.dir/crowd/worker_test.cc.o"
+  "CMakeFiles/crowd_worker_test.dir/crowd/worker_test.cc.o.d"
+  "crowd_worker_test"
+  "crowd_worker_test.pdb"
+  "crowd_worker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_emulator_test.dir/data/emulator_test.cc.o"
+  "CMakeFiles/data_emulator_test.dir/data/emulator_test.cc.o.d"
+  "data_emulator_test"
+  "data_emulator_test.pdb"
+  "data_emulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

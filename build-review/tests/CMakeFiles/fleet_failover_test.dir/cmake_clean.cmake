@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_failover_test.dir/fleet/failover_test.cc.o"
+  "CMakeFiles/fleet_failover_test.dir/fleet/failover_test.cc.o.d"
+  "fleet_failover_test"
+  "fleet_failover_test.pdb"
+  "fleet_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_hash_ring_test.dir/fleet/hash_ring_test.cc.o"
+  "CMakeFiles/fleet_hash_ring_test.dir/fleet/hash_ring_test.cc.o.d"
+  "fleet_hash_ring_test"
+  "fleet_hash_ring_test.pdb"
+  "fleet_hash_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_hash_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_centrality_test.dir/graph/centrality_test.cc.o"
+  "CMakeFiles/graph_centrality_test.dir/graph/centrality_test.cc.o.d"
+  "graph_centrality_test"
+  "graph_centrality_test.pdb"
+  "graph_centrality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_centrality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

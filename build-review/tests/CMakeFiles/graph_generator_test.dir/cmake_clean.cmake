@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_generator_test.dir/graph/generator_test.cc.o"
+  "CMakeFiles/graph_generator_test.dir/graph/generator_test.cc.o.d"
+  "graph_generator_test"
+  "graph_generator_test.pdb"
+  "graph_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

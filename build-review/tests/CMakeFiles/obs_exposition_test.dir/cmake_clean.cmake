@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_exposition_test.dir/obs/exposition_test.cc.o"
+  "CMakeFiles/obs_exposition_test.dir/obs/exposition_test.cc.o.d"
+  "obs_exposition_test"
+  "obs_exposition_test.pdb"
+  "obs_exposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_exposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim_logistic_test.dir/optim/logistic_test.cc.o"
+  "CMakeFiles/optim_logistic_test.dir/optim/logistic_test.cc.o.d"
+  "optim_logistic_test"
+  "optim_logistic_test.pdb"
+  "optim_logistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim_logistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim_online_em_test.dir/optim/online_em_test.cc.o"
+  "CMakeFiles/optim_online_em_test.dir/optim/online_em_test.cc.o.d"
+  "optim_online_em_test"
+  "optim_online_em_test.pdb"
+  "optim_online_em_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim_online_em_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim_tron_test.dir/optim/tron_test.cc.o"
+  "CMakeFiles/optim_tron_test.dir/optim/tron_test.cc.o.d"
+  "optim_tron_test"
+  "optim_tron_test.pdb"
+  "optim_tron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim_tron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_checkpoint_test.dir/service/checkpoint_test.cc.o"
+  "CMakeFiles/service_checkpoint_test.dir/service/checkpoint_test.cc.o.d"
+  "service_checkpoint_test"
+  "service_checkpoint_test.pdb"
+  "service_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

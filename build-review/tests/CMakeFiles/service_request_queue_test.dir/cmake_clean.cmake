@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_request_queue_test.dir/service/request_queue_test.cc.o"
+  "CMakeFiles/service_request_queue_test.dir/service/request_queue_test.cc.o.d"
+  "service_request_queue_test"
+  "service_request_queue_test.pdb"
+  "service_request_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_request_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_session_manager_test.dir/service/session_manager_test.cc.o"
+  "CMakeFiles/service_session_manager_test.dir/service/session_manager_test.cc.o.d"
+  "service_session_manager_test"
+  "service_session_manager_test.pdb"
+  "service_session_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_session_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_language_model_test.dir/text/language_model_test.cc.o"
+  "CMakeFiles/text_language_model_test.dir/text/language_model_test.cc.o.d"
+  "text_language_model_test"
+  "text_language_model_test.pdb"
+  "text_language_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_language_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

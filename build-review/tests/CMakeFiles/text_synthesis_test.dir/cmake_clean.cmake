@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_synthesis_test.dir/text/synthesis_test.cc.o"
+  "CMakeFiles/text_synthesis_test.dir/text/synthesis_test.cc.o.d"
+  "text_synthesis_test"
+  "text_synthesis_test.pdb"
+  "text_synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

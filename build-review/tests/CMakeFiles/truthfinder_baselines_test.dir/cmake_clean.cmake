@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truthfinder_baselines_test.dir/truthfinder/baselines_test.cc.o"
+  "CMakeFiles/truthfinder_baselines_test.dir/truthfinder/baselines_test.cc.o.d"
+  "truthfinder_baselines_test"
+  "truthfinder_baselines_test.pdb"
+  "truthfinder_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truthfinder_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

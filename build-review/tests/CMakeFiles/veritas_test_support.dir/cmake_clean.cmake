@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_test_support.dir/testing/fault_injection.cc.o"
+  "CMakeFiles/veritas_test_support.dir/testing/fault_injection.cc.o.d"
+  "libveritas_test_support.a"
+  "libveritas_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas-lint.dir/lint.cc.o"
+  "CMakeFiles/veritas-lint.dir/lint.cc.o.d"
+  "CMakeFiles/veritas-lint.dir/main.cc.o"
+  "CMakeFiles/veritas-lint.dir/main.cc.o.d"
+  "veritas-lint"
+  "veritas-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
